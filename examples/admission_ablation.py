@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Domain scenario 3 — ablating the admission system's design choices.
+
+Three ablations the paper motivates but does not plot:
+
+1. **History table on/off** (§4.4.2): how much hit rate the FIFO
+   rectification table recovers from classifier false positives.
+2. **Cost matrix v** (§4.4.1, Table 4): precision/recall/hit-rate trade-off
+   as the false-positive penalty grows.
+3. **Daily retraining vs a static model** (§4.4.3): accuracy decay when the
+   model is never refreshed.
+
+Run:  python examples/admission_ablation.py
+"""
+
+from repro.cache import make_policy, simulate
+from repro.core.admission import AlwaysAdmit, ClassifierAdmission
+from repro.core.criteria import solve_criteria
+from repro.core.features import extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import one_time_labels, reaccess_distances
+from repro.core.training import train_daily_classifier
+from repro.trace import WorkloadConfig, generate_trace
+
+CAPACITY_FRACTION = 0.01
+
+
+def main() -> None:
+    trace = generate_trace(WorkloadConfig(n_objects=30_000, seed=17))
+    capacity = max(1, int(CAPACITY_FRACTION * trace.footprint_bytes))
+
+    baseline = simulate(
+        trace, make_policy("lru", capacity), admission=AlwaysAdmit()
+    )
+    distances = reaccess_distances(trace.object_ids)
+    criteria = solve_criteria(
+        distances, capacity, trace.mean_object_size(), hit_rate=baseline.hit_rate
+    )
+    labels = one_time_labels(trace.object_ids, criteria.m_threshold)
+    features = extract_features(trace)
+
+    print(f"baseline LRU: hit={baseline.hit_rate:.3f} "
+          f"writes={baseline.stats.files_written:,}")
+    print(f"criterion M = {criteria.m_threshold:,.0f} requests, "
+          f"p = {criteria.one_time_share:.3f}")
+
+    # ---------------------------------------------------------------- (1)
+    print("\n--- ablation 1: history table ---")
+    training = train_daily_classifier(trace, features, labels, rng=0)
+    for label, table in [
+        ("without history table", HistoryTable(1)),  # capacity 1 ≈ disabled
+        ("with history table", None),                # paper's sizing rule
+    ]:
+        adm = (
+            ClassifierAdmission.from_criteria(training.predictions, criteria)
+            if table is None
+            else ClassifierAdmission(
+                training.predictions, criteria.m_threshold, table
+            )
+        )
+        r = simulate(trace, make_policy("lru", capacity), admission=adm)
+        print(f"  {label:24s} hit={r.hit_rate:.3f} "
+              f"writes={r.stats.files_written:,} "
+              f"rectified={adm.rectified_admits:,}")
+
+    # ---------------------------------------------------------------- (2)
+    print("\n--- ablation 2: cost-matrix penalty v ---")
+    for v in (1.0, 2.0, 3.0, 5.0):
+        tr = train_daily_classifier(trace, features, labels, cost_v=v, rng=0)
+        adm = ClassifierAdmission.from_criteria(tr.predictions, criteria)
+        r = simulate(trace, make_policy("lru", capacity), admission=adm)
+        o = tr.overall
+        print(f"  v={v:3.0f}: precision={o['precision']:.3f} "
+              f"recall={o['recall']:.3f} hit={r.hit_rate:.3f} "
+              f"writes={r.stats.files_written:,}")
+
+    # ---------------------------------------------------------------- (3)
+    print("\n--- ablation 3: daily retraining vs static model ---")
+    daily = train_daily_classifier(trace, features, labels, rng=0)
+    static = train_daily_classifier(trace, features, labels, static_model=True, rng=0)
+    print("  day  daily-acc  static-acc")
+    for md, ms in zip(daily.daily_metrics, static.daily_metrics):
+        if md["trained"] and ms["trained"]:
+            print(f"  {md['segment']:3d}  {md['accuracy']:9.3f} "
+                  f"{ms['accuracy']:11.3f}")
+    print(f"  overall: daily={daily.overall['accuracy']:.3f} "
+          f"static={static.overall['accuracy']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Domain scenario 2 — choosing the classifier (paper §3.1, Table 1).
+
+Builds the paper's training set (one day of trace, thinned to 100 records
+per minute, labelled by the one-time-access criterion), cross-validates the
+seven candidate classifiers, and prints a Table-1-style comparison plus the
+ensemble-vs-single-tree cost/benefit note of §3.1.1.
+
+Run:  python examples/classifier_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.criteria import solve_criteria
+from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+from repro.core.labeling import one_time_labels, reaccess_distances
+from repro.core.training import sample_per_minute
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    StratifiedKFold,
+    cross_validate_metrics,
+)
+from repro.trace import WorkloadConfig, generate_trace
+
+
+def build_dataset(n_objects: int = 40_000, seed: int = 3):
+    trace = generate_trace(WorkloadConfig(n_objects=n_objects, seed=seed))
+    distances = reaccess_distances(trace.object_ids)
+    criteria = solve_criteria(
+        distances, cache_bytes=trace.footprint_bytes // 100,
+        mean_object_size=trace.mean_object_size(),
+    )
+    labels = one_time_labels(trace.object_ids, criteria.m_threshold)
+    features = extract_features(trace).select(PAPER_FEATURE_NAMES)
+
+    # Day-1 sample at 100 records/minute (§3.1.1).
+    rng = np.random.default_rng(seed)
+    day1 = np.nonzero(trace.timestamps < 86400.0)[0]
+    picked = day1[sample_per_minute(trace.timestamps[day1], 100, rng)]
+    return features.X[picked], labels[picked]
+
+
+def main() -> None:
+    X, y = build_dataset()
+    print(f"dataset: {X.shape[0]:,} samples, {X.shape[1]} features, "
+          f"{100 * y.mean():.1f}% one-time")
+
+    candidates = {
+        "Naive Bayes": GaussianNB(),
+        "Decision Tree": DecisionTreeClassifier(max_splits=30, rng=0),
+        "BP NN": MLPClassifier(16, epochs=30, rng=0),
+        "KNN": KNeighborsClassifier(7),
+        "AdaBoost": AdaBoostClassifier(10, rng=0),
+        "Random Forest": RandomForestClassifier(10, max_splits=30, rng=0),
+        "Logistic Regression": LogisticRegression(max_iter=800),
+    }
+
+    print(f"\n{'Algorithm':22s} {'Precision':>9s} {'Recall':>8s} "
+          f"{'Accuracy':>9s} {'AUC':>7s} {'fit+cv':>8s}")
+    cv = StratifiedKFold(5, rng=0)
+    for name, model in candidates.items():
+        t0 = time.perf_counter()
+        m = cross_validate_metrics(model, X, y, cv=cv)
+        dt = time.perf_counter() - t0
+        print(f"{name:22s} {m['precision']:9.3f} {m['recall']:8.3f} "
+              f"{m['accuracy']:9.3f} {m['auc']:7.3f} {dt:7.1f}s")
+
+    print("\n§3.1.1 check — ensemble gain vs computational cost:")
+    for n in (1, 10, 30):
+        t0 = time.perf_counter()
+        m = cross_validate_metrics(
+            RandomForestClassifier(n, max_splits=30, rng=0), X, y, cv=cv
+        )
+        dt = time.perf_counter() - t0
+        print(f"  RandomForest({n:2d} trees): accuracy={m['accuracy']:.3f} "
+              f"({dt:5.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

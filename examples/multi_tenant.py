@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Domain scenario 9 — two tenants sharing one cache tier.
+
+Composes two differently-shaped workloads (a normal album tenant and a
+colder, more one-time-heavy tenant) onto one timeline with
+``interleave_traces``, then asks: does the one-time-access-exclusion
+filter protect the mixed cache better than it protects either tenant
+alone?  Also demonstrates ``scale_rate`` for a traffic-surge what-if.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.cache import LRUCache, simulate
+from repro.core.admission import AlwaysAdmit, OracleAdmission
+from repro.core.criteria import solve_criteria
+from repro.core.labeling import one_time_labels, reaccess_distances
+from repro.trace import WorkloadConfig, compute_stats, generate_trace
+from repro.trace.mixer import interleave_traces, scale_rate
+
+
+def evaluate(trace, label):
+    capacity = max(1, trace.footprint_bytes // 80)
+    base = simulate(trace, LRUCache(capacity), admission=AlwaysAdmit())
+    criteria = solve_criteria(
+        reaccess_distances(trace.object_ids),
+        capacity,
+        trace.mean_object_size(),
+        hit_rate=base.hit_rate,
+    )
+    labels = one_time_labels(trace.object_ids, criteria.m_threshold)
+    ideal = simulate(
+        trace, LRUCache(capacity), admission=OracleAdmission(labels)
+    )
+    write_cut = 1 - ideal.stats.files_written / base.stats.files_written
+    print(f"{label:18s} hit {base.hit_rate:.3f} → {ideal.hit_rate:.3f}   "
+          f"writes −{100 * write_cut:.0f}%   "
+          f"(p = {labels.mean():.2f}, M = {criteria.m_threshold:,.0f})")
+    return base, ideal
+
+
+def main() -> None:
+    album = generate_trace(WorkloadConfig(n_objects=12_000, seed=31))
+    cold = generate_trace(
+        WorkloadConfig(
+            n_objects=8_000,
+            seed=32,
+            one_time_fraction=0.8,   # a colder tenant (e.g. chat thumbnails)
+            mean_accesses=2.2,
+        )
+    )
+
+    print("=== tenants in isolation ===")
+    evaluate(album, "album tenant")
+    evaluate(cold, "cold tenant")
+
+    print("\n=== shared cache (interleaved timeline) ===")
+    mixed = interleave_traces(album, cold)
+    stats = compute_stats(mixed)
+    print(f"mixed trace: {stats.n_accesses:,} accesses, "
+          f"{100 * stats.one_time_object_fraction:.1f}% one-time objects")
+    evaluate(mixed, "shared cache")
+
+    print("\n=== traffic surge what-if (same mix, 3× the rate) ===")
+    surged = scale_rate(mixed, 3.0)
+    evaluate(surged, "shared @ 3× rate")
+    print("(identical cache metrics — replacement depends on request "
+          "*order*, not wall-clock; what a surge does change is the "
+          "time-based features and the daily-retraining windows of the "
+          "learned classifier, cf. repro.core.training)")
+    print("\nreading: the cold tenant pollutes the shared tier, so the "
+          "exclusion filter's write savings are larger on the mix than on "
+          "the album tenant alone — admission control matters more, not "
+          "less, under consolidation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517/660 builds (which need ``bdist_wheel``) fail.  Keeping a ``setup.py``
+and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` take the legacy ``setup.py develop`` path, which works
+offline.
+"""
+
+from setuptools import setup
+
+setup()

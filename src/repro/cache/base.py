@@ -1,0 +1,174 @@
+"""Cache policy interface, per-access outcome, and statistics counters.
+
+Design
+------
+A policy's single entry point is :meth:`CachePolicy.access`: it processes
+one request *including* its metadata side effects (ARC ghost hits, the LIRS
+stack) and — when the request misses and the caller admits it — performs
+insertion and any evictions.  This single-call shape matters because for
+ARC/LIRS a miss is itself a state transition; splitting lookup and insert
+across two calls would let state drift in between.
+
+The simulator (not the policy) owns the :class:`CacheStats` counters so that
+every policy is measured identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "AccessResult",
+    "CachePolicy",
+    "CacheStats",
+    "AdmissionPolicy",
+    "CacheObserver",
+]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one request.
+
+    ``hit``       — object was resident.
+    ``inserted``  — object was written into the cache (an SSD write).
+    ``evicted``   — object ids displaced by this insertion.
+    """
+
+    hit: bool
+    inserted: bool = False
+    evicted: tuple[int, ...] = ()
+
+
+class CachePolicy(ABC):
+    """Size-aware replacement policy over integer object ids."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity = int(capacity_bytes)
+
+    @abstractmethod
+    def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
+        """Process one request for object ``oid`` of ``size`` bytes.
+
+        On a hit, recency/frequency state is updated and
+        ``AccessResult(hit=True)`` returned.  On a miss with ``admit=True``
+        the object is inserted (evicting residents as needed) unless it is
+        larger than the whole cache; with ``admit=False`` only internal
+        metadata (ghosts/history) is updated.
+        """
+
+    @property
+    @abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes currently resident; must never exceed ``capacity``."""
+
+    @abstractmethod
+    def __contains__(self, oid: int) -> bool:
+        """True when ``oid`` is resident (metadata-only entries excluded)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident objects."""
+
+    def _validate_request(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("object size must be positive")
+
+
+class CacheObserver(ABC):
+    """Receives the cache's mutation stream during a simulation.
+
+    Used to drive downstream device models — e.g.
+    :class:`repro.ssd.cache_device.CacheSSD` turns inserts into flash
+    programs and evictions into TRIMs.
+    """
+
+    @abstractmethod
+    def on_insert(self, oid: int, size: int) -> None:
+        """Object written into the cache (an SSD write)."""
+
+    @abstractmethod
+    def on_evict(self, oid: int) -> None:
+        """Object displaced from the cache."""
+
+
+class AdmissionPolicy(ABC):
+    """Decides whether a *missed* object should be written into the cache.
+
+    This is the hook the paper's classification system (Fig. 4) plugs into:
+    on every miss the simulator asks :meth:`should_admit`; implementations
+    range from the trivial always-admit to the classifier + history-table
+    system in :mod:`repro.core.admission`.
+    """
+
+    @abstractmethod
+    def should_admit(self, index: int, oid: int, size: int) -> bool:
+        """Admission verdict for the miss at trace position ``index``."""
+
+    def on_hit(self, index: int, oid: int, size: int) -> None:
+        """Optional hook: called on every cache hit."""
+
+    def reset(self) -> None:
+        """Optional hook: clear per-run state before a simulation."""
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by the simulator (files and bytes).
+
+    The paper's reported ratios map as:
+
+    * file hit rate   = ``hits / requests``                      (Fig. 6)
+    * byte hit rate   = ``bytes_hit / bytes_requested``          (Fig. 7)
+    * file write rate = ``files_written / requests``             (Fig. 8)
+    * byte write rate = ``bytes_written / bytes_requested``      (Fig. 9)
+    """
+
+    requests: int = 0
+    hits: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    files_written: int = 0
+    bytes_written: int = 0
+    evictions: int = 0
+    admissions_denied: int = 0
+
+    def record(self, size: int, result: AccessResult, denied: bool) -> None:
+        self.requests += 1
+        self.bytes_requested += size
+        if result.hit:
+            self.hits += 1
+            self.bytes_hit += size
+        if result.inserted:
+            self.files_written += 1
+            self.bytes_written += size
+        self.evictions += len(result.evicted)
+        if denied:
+            self.admissions_denied += 1
+
+    # ------------------------------------------------------------- ratios
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        return self.bytes_hit / self.bytes_requested if self.bytes_requested else 0.0
+
+    @property
+    def file_write_rate(self) -> float:
+        return self.files_written / self.requests if self.requests else 0.0
+
+    @property
+    def byte_write_rate(self) -> float:
+        return (
+            self.bytes_written / self.bytes_requested if self.bytes_requested else 0.0
+        )

@@ -1,0 +1,43 @@
+"""First-In-First-Out replacement: eviction order ignores recency."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import AccessResult, CachePolicy
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(CachePolicy):
+    """FIFO — identical bookkeeping to LRU minus the hit promotion."""
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()  # oid -> size
+        self._used = 0
+
+    def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
+        self._validate_request(size)
+        if oid in self._entries:
+            return AccessResult(hit=True)
+        if not admit or size > self.capacity:
+            return AccessResult(hit=False)
+        evicted = []
+        while self._used + size > self.capacity:
+            victim, vsize = self._entries.popitem(last=False)
+            self._used -= vsize
+            evicted.append(victim)
+        self._entries[oid] = size
+        self._used += size
+        return AccessResult(hit=False, inserted=True, evicted=tuple(evicted))
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,109 @@
+"""DRAM + SSD two-level cache within a single server.
+
+Production photo caches front the SSD with a small DRAM cache (the paper's
+Eq. 5/6 read "from the HDD to the DRAM" — DRAM is the staging tier).  The
+interesting interaction with the paper's scheme: *admission control applies
+to the SSD tier only*.  One-time photos still get served from DRAM while
+they stay hot for seconds, but never touch the flash.
+
+Semantics
+---------
+* Lookup: L1 (DRAM) first, then L2 (SSD).  An L2 hit promotes the object
+  into L1 (inclusive towards the top, as real photo stacks behave).
+* Miss: the object always enters L1 (DRAM writes are free); it enters L2
+  only if the caller admits it.
+* Objects evicted from L1 are *not* written back to L2 (read-only cache —
+  backend holds the truth), so L1 eviction is silent.
+
+``AccessResult`` accounting: ``hit`` covers a hit in either level;
+``inserted``/``evicted`` report **L2 (SSD) state only**, because those are
+the flash writes the paper counts.  L1 state is observable via
+``l1_hits``/``l2_hits`` counters.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, CachePolicy
+from repro.cache.lru import LRUCache
+
+__all__ = ["HierarchicalCache"]
+
+
+class HierarchicalCache(CachePolicy):
+    """DRAM LRU in front of any SSD-tier policy.
+
+    Parameters
+    ----------
+    dram:
+        The L1 policy (typically a small :class:`~repro.cache.lru.LRUCache`).
+    ssd:
+        The L2 policy (any :class:`~repro.cache.base.CachePolicy`).
+
+    ``capacity`` reported by this object is the SSD capacity — the resource
+    the paper's figures are parameterised by.
+    """
+
+    def __init__(self, dram: CachePolicy, ssd: CachePolicy):
+        super().__init__(ssd.capacity)
+        self.dram = dram
+        self.ssd = ssd
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
+        self._validate_request(size)
+        # L1 (DRAM) — hits are free and invisible to the SSD counters.
+        if oid in self.dram:
+            self.dram.access(oid, size)
+            self.l1_hits += 1
+            # Keep L2 recency warm as well if resident there.  Some
+            # policies (e.g. S3LRU promotion overflow) can evict *other*
+            # objects on a hit — those must be propagated.
+            if oid in self.ssd:
+                result = self.ssd.access(oid, size)
+                return AccessResult(hit=True, evicted=result.evicted)
+            return AccessResult(hit=True)
+
+        if oid in self.ssd:
+            self.l2_hits += 1
+            result = self.ssd.access(oid, size)
+            # Promote into DRAM (no SSD write involved).
+            self.dram.access(oid, size)
+            return AccessResult(hit=True, evicted=result.evicted)
+
+        # Miss everywhere: DRAM always takes it; SSD only if admitted.
+        self.dram.access(oid, size)
+        if not admit or size > self.ssd.capacity:
+            return AccessResult(hit=False)
+        result = self.ssd.access(oid, size, admit=True)
+        return AccessResult(
+            hit=False, inserted=result.inserted, evicted=result.evicted
+        )
+
+    @classmethod
+    def with_lru_dram(
+        cls, ssd: CachePolicy, *, dram_fraction: float = 0.05
+    ) -> "HierarchicalCache":
+        """Convenience: DRAM sized as a fraction of the SSD capacity."""
+        if not 0.0 < dram_fraction < 1.0:
+            raise ValueError("dram_fraction must be in (0, 1)")
+        return cls(LRUCache(max(1, int(ssd.capacity * dram_fraction))), ssd)
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def used_bytes(self) -> int:
+        """SSD-tier bytes (the figure-relevant resource)."""
+        return self.ssd.used_bytes
+
+    @property
+    def dram_used_bytes(self) -> int:
+        return self.dram.used_bytes
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.dram or oid in self.ssd
+
+    def __len__(self) -> int:
+        """Resident entries summed over tiers (objects in both count twice —
+        they genuinely occupy space in each)."""
+        return len(self.ssd) + len(self.dram)

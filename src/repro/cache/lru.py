@@ -1,0 +1,49 @@
+"""Least-Recently-Used replacement — the paper's baseline policy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import AccessResult, CachePolicy
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(CachePolicy):
+    """Classic LRU over an :class:`~collections.OrderedDict` (O(1) per op).
+
+    Insertion order = recency order: most recent at the right end, victims
+    popped from the left.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()  # oid -> size
+        self._used = 0
+
+    def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
+        self._validate_request(size)
+        entries = self._entries
+        if oid in entries:
+            entries.move_to_end(oid)
+            return AccessResult(hit=True)
+        if not admit or size > self.capacity:
+            return AccessResult(hit=False)
+        evicted = []
+        while self._used + size > self.capacity:
+            victim, vsize = entries.popitem(last=False)
+            self._used -= vsize
+            evicted.append(victim)
+        entries[oid] = size
+        self._used += size
+        return AccessResult(hit=False, inserted=True, evicted=tuple(evicted))
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

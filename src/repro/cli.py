@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``stats``       synthesise a trace and print its §2.2 statistics
+``generate``    synthesise a trace and save it (.npz)
+``simulate``    replay a trace through one policy/capacity
+``experiment``  full Original/Proposal/Ideal/Belady comparison
+``sweep``       capacity sweep for one policy (Fig.-2/6 style rows)
+
+All commands accept either ``--trace file.npz`` or generator parameters
+(``--objects``, ``--days``, ``--seed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cache import make_policy, simulate
+from repro.config import paper_capacity_fractions, paper_equivalent_bytes
+from repro.core.pipeline import run_experiment
+from repro.trace.generator import WorkloadConfig, generate_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import compute_stats, type_request_histogram
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", help="load a saved trace (.npz) instead of generating")
+    p.add_argument("--objects", type=int, default=25_000, help="objects to synthesise")
+    p.add_argument("--days", type=float, default=9.0)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_trace(args):
+    if args.trace:
+        return load_trace(args.trace)
+    return generate_trace(
+        WorkloadConfig(n_objects=args.objects, days=args.days, seed=args.seed)
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="One-time-access-exclusion SSD caching (ICPP 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="trace statistics (§2.2) and type histogram")
+    _add_trace_args(p)
+    p.add_argument("--types", action="store_true", help="print the Fig.-3 histogram")
+
+    p = sub.add_parser("generate", help="synthesise a trace and save it")
+    _add_trace_args(p)
+    p.add_argument("output", help="output path (.npz)")
+
+    p = sub.add_parser("simulate", help="replay a trace through one cache")
+    _add_trace_args(p)
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--capacity-fraction", type=float, default=0.01,
+                   help="capacity as a fraction of the trace footprint")
+
+    p = sub.add_parser("experiment", help="Original/Proposal/Ideal/Belady comparison")
+    _add_trace_args(p)
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--capacity-fraction", type=float, default=0.01)
+    p.add_argument("--cost-v", type=float, default=None)
+    p.add_argument("--no-belady", action="store_true")
+
+    p = sub.add_parser("sweep", help="hit rate across the paper's capacity axis")
+    _add_trace_args(p)
+    p.add_argument("--policy", default="lru")
+
+    p = sub.add_parser("analyze", help="workload analysis: Zipf, reuse, stack profile")
+    _add_trace_args(p)
+
+    p = sub.add_parser(
+        "report", help="markdown report: Original/Proposal/Ideal/Belady per policy"
+    )
+    _add_trace_args(p)
+    p.add_argument("output", help="output markdown path")
+    p.add_argument("--policies", nargs="+", default=["lru", "fifo"])
+    p.add_argument("--capacity-fraction", type=float, default=0.01)
+
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    trace = _resolve_trace(args)
+    print(compute_stats(trace).summary())
+    if args.types:
+        for name, share in sorted(
+            type_request_histogram(trace).items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name}: {100 * share:5.1f}%")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    trace = _resolve_trace(args)
+    save_trace(trace, args.output)
+    print(f"saved {trace.n_accesses:,} accesses / {trace.n_objects:,} objects "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = _resolve_trace(args)
+    cap = max(1, int(args.capacity_fraction * trace.footprint_bytes))
+    result = simulate(
+        trace, make_policy(args.policy, cap, trace), policy_name=args.policy
+    )
+    s = result.stats
+    print(f"policy={args.policy} capacity={cap / 2**20:.1f} MiB")
+    print(f"hit rate          {s.hit_rate:.4f}")
+    print(f"byte hit rate     {s.byte_hit_rate:.4f}")
+    print(f"file write rate   {s.file_write_rate:.4f}")
+    print(f"byte write rate   {s.byte_write_rate:.4f}")
+    print(f"requests={s.requests:,} hits={s.hits:,} writes={s.files_written:,}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    trace = _resolve_trace(args)
+    result = run_experiment(
+        trace,
+        policy=args.policy,
+        capacity_fraction=args.capacity_fraction,
+        cost_v=args.cost_v,
+        include_belady=not args.no_belady,
+    )
+    print(result.summary())
+    o = result.training.overall
+    print(f"classifier: precision={o['precision']:.3f} recall={o['recall']:.3f} "
+          f"accuracy={o['accuracy']:.3f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    trace = _resolve_trace(args)
+    print(f"{'paper GB':>9s} {'capacity MiB':>13s} {'hit rate':>9s}")
+    for frac in paper_capacity_fractions():
+        sc = paper_equivalent_bytes(frac, trace.footprint_bytes)
+        r = simulate(trace, make_policy(args.policy, sc.bytes, trace))
+        print(f"{sc.paper_gb:9.0f} {sc.bytes / 2**20:13.1f} {r.hit_rate:9.4f}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    import numpy as np
+
+    from repro.trace.analysis import (
+        one_time_share_by_hour,
+        popularity_zipf_fit,
+        reuse_interval_stats,
+        stack_distance_profile,
+    )
+
+    trace = _resolve_trace(args)
+    fit = popularity_zipf_fit(trace, min_rank=5)
+    print(f"Zipf: alpha={fit.exponent:.2f} R2={fit.r_squared:.3f} "
+          f"zipf-like={fit.is_zipf_like} top1%={100 * fit.top_1pct_share:.1f}%")
+    ri = reuse_interval_stats(trace)
+    print(f"reuse: median={ri.median_seconds / 3600:.2f}h "
+          f"p90={ri.p90_seconds / 3600:.2f}h "
+          f"within-day={100 * ri.within_day_fraction:.0f}%")
+    caps = np.unique(
+        np.logspace(1, np.log10(trace.n_objects), 6).astype(int)
+    )
+    profile = stack_distance_profile(trace, caps)
+    print("LRU stack profile (objects: hit rate): "
+          + "  ".join(f"{c}: {h:.3f}" for c, h in zip(caps, profile)))
+    share = one_time_share_by_hour(trace)
+    print(f"one-time share: max at {int(np.argmax(share))}:00 "
+          f"({share.max():.3f}), min at {int(np.argmin(share))}:00 "
+          f"({share.min():.3f})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import write_report
+
+    trace = _resolve_trace(args)
+    results = [
+        run_experiment(
+            trace, policy=policy, capacity_fraction=args.capacity_fraction
+        )
+        for policy in args.policies
+    ]
+    path = write_report(args.output, trace, results)
+    print(f"report written to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

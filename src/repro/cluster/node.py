@@ -1,0 +1,84 @@
+"""A single cache server: replacement policy + optional admission filter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.base import AdmissionPolicy, CachePolicy
+
+__all__ = ["NodeStats", "CacheNode"]
+
+
+@dataclass
+class NodeStats:
+    """Per-node request counters."""
+
+    requests: int = 0
+    hits: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    files_written: int = 0
+    bytes_written: int = 0
+    admissions_denied: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        return self.bytes_hit / self.bytes_requested if self.bytes_requested else 0.0
+
+
+class CacheNode:
+    """One cache server in the cluster.
+
+    ``request`` is the single entry point: it performs lookup, consults the
+    admission filter on a miss, and updates counters.  Returns True on hit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: CachePolicy,
+        admission: AdmissionPolicy | None = None,
+    ):
+        self.name = name
+        self.policy = policy
+        self.admission = admission
+        self.stats = NodeStats()
+
+    def reset(self) -> None:
+        """Clear counters and admission state.
+
+        Cache *contents* are deliberately kept — production cache servers
+        stay warm across measurement windows.  Build a fresh node for a
+        cold-start run.
+        """
+        self.stats = NodeStats()
+        if self.admission is not None:
+            self.admission.reset()
+
+    def request(self, index: int, oid: int, size: int) -> bool:
+        stats = self.stats
+        stats.requests += 1
+        stats.bytes_requested += size
+        if oid in self.policy:
+            self.policy.access(oid, size)
+            stats.hits += 1
+            stats.bytes_hit += size
+            if self.admission is not None:
+                self.admission.on_hit(index, oid, size)
+            return True
+        admit = (
+            self.admission.should_admit(index, oid, size)
+            if self.admission is not None
+            else True
+        )
+        result = self.policy.access(oid, size, admit=admit)
+        if not admit:
+            stats.admissions_denied += 1
+        if result.inserted:
+            stats.files_written += 1
+            stats.bytes_written += size
+        return False

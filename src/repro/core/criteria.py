@@ -1,0 +1,151 @@
+"""The one-time-access criterion: solving for the threshold ``M`` (§4.3).
+
+The paper models a full cache in steady state: over ``M`` consecutive
+requests a fraction ``1−h`` miss, and of those only the non-one-time share
+``1−p`` is written, so an un-reused object survives roughly
+
+    M · (1−h) · (1−p) = C / S                                   (Eq. 2)
+
+replacements before eviction.  ``M`` is therefore the horizon beyond which a
+re-access cannot hit anyway — the principled cut-off for "one-time".
+
+Both ``h`` (hit rate) and ``p`` (one-time share) depend on ``M`` in turn, so
+the paper iterates from ``p = 0`` until convergence ("empirically, we set
+the iterations to be 3").  :func:`solve_criteria` reproduces that loop using
+the empirical reaccess-distance distribution of the trace; ``h`` is either
+supplied (e.g. measured from a prior simulation) or estimated from the same
+distribution via the stack-distance approximation of
+:func:`estimate_hit_rate`.
+
+For LIRS the effective protected capacity is the stack share, giving
+``M_LIRS = M_LRU · R_s`` (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Criteria", "solve_criteria", "estimate_hit_rate"]
+
+
+@dataclass(frozen=True)
+class Criteria:
+    """A solved one-time-access criterion."""
+
+    m_threshold: float        # M, in requests
+    one_time_share: float     # p at the fixed point
+    hit_rate: float           # h used in the solve
+    cache_bytes: int
+    mean_object_size: float
+    iterations: int
+    rs: float = 1.0           # LIRS stack ratio; 1.0 for LRU-family
+
+    def for_lirs(self, rs: float) -> "Criteria":
+        """Derive the LIRS criterion: ``M_LIRS = M_LRU × R_s`` (§5.2)."""
+        if not 0.0 < rs <= 1.0:
+            raise ValueError("rs must be in (0, 1]")
+        return Criteria(
+            m_threshold=self.m_threshold * rs,
+            one_time_share=self.one_time_share,
+            hit_rate=self.hit_rate,
+            cache_bytes=self.cache_bytes,
+            mean_object_size=self.mean_object_size,
+            iterations=self.iterations,
+            rs=rs,
+        )
+
+
+def _finite_distance_cdf(distances: np.ndarray):
+    """Empirical P(distance ≤ x) over *all* accesses (inf counts as never)."""
+    finite = np.sort(distances[np.isfinite(distances)])
+    n_total = distances.shape[0]
+
+    def cdf(x: float) -> float:
+        return float(np.searchsorted(finite, x, side="right")) / n_total
+
+    return cdf
+
+
+def estimate_hit_rate(
+    distances: np.ndarray,
+    cache_bytes: int,
+    mean_object_size: float,
+    *,
+    iterations: int = 10,
+) -> float:
+    """Stack-distance estimate of the LRU hit rate.
+
+    In the paper's steady-state model an object admitted now is evicted
+    after ``C/S`` writes, i.e. after about ``C/(S(1−h))`` requests; a
+    re-access hits iff its reaccess distance is below that horizon.  This
+    gives the fixed point ``h = F(C / (S(1−h)))`` on the empirical distance
+    CDF ``F``, solved by damped iteration from ``h = 0``.
+    """
+    if cache_bytes <= 0 or mean_object_size <= 0:
+        raise ValueError("cache_bytes and mean_object_size must be positive")
+    cdf = _finite_distance_cdf(np.asarray(distances, dtype=np.float64))
+    slots = cache_bytes / mean_object_size
+    h = 0.0
+    for _ in range(iterations):
+        horizon = slots / max(1.0 - h, 1e-9)
+        h = 0.5 * h + 0.5 * cdf(horizon)
+    return float(min(h, 0.999))
+
+
+def solve_criteria(
+    distances: np.ndarray,
+    cache_bytes: int,
+    mean_object_size: float,
+    *,
+    hit_rate: float | None = None,
+    iterations: int = 3,
+) -> Criteria:
+    """The paper's §4.3 fixed point: start at ``p = 0``, iterate Eq. 2.
+
+    Parameters
+    ----------
+    distances:
+        Per-access reaccess distances
+        (:func:`repro.core.labeling.reaccess_distances`).
+    cache_bytes / mean_object_size:
+        ``C`` and ``S`` of Eq. 2.
+    hit_rate:
+        ``h``; measured value if available, otherwise estimated via
+        :func:`estimate_hit_rate`.
+    iterations:
+        Fixed-point iterations (the paper uses 3).
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 1 or distances.shape[0] == 0:
+        raise ValueError("distances must be a non-empty 1-D array")
+    if cache_bytes <= 0 or mean_object_size <= 0:
+        raise ValueError("cache_bytes and mean_object_size must be positive")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    h = (
+        hit_rate
+        if hit_rate is not None
+        else estimate_hit_rate(distances, cache_bytes, mean_object_size)
+    )
+    if not 0.0 <= h < 1.0:
+        raise ValueError("hit_rate must be in [0, 1)")
+
+    slots = cache_bytes / mean_object_size
+    p = 0.0
+    m = slots / (1.0 - h)  # Eq. 1 (p = 0 start)
+    for _ in range(iterations):
+        p = float(np.mean(distances > m))  # measure p under the current M
+        if p >= 1.0:  # degenerate trace: everything one-time
+            p = 1.0 - 1e-9
+        m = slots / ((1.0 - h) * (1.0 - p))  # Eq. 2
+    return Criteria(
+        m_threshold=float(m),
+        one_time_share=p,
+        hit_rate=float(h),
+        cache_bytes=int(cache_bytes),
+        mean_object_size=float(mean_object_size),
+        iterations=iterations,
+    )

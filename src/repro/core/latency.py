@@ -1,0 +1,58 @@
+"""Response-time model (§5.3.5, Eqs. 3–6) behind Fig. 10.
+
+    T = h · HitCost + (1 − h) · MissPenalty                     (Eq. 3)
+    HitCost        = t_query + t_ssdr                           (Eq. 4)
+    MissPenalty_o  = t_query + t_hddr                           (Eq. 5, original)
+    MissPenalty_p  = t_query + t_classify + t_hddr              (Eq. 6, proposed)
+
+SSD writes are excluded from the critical path (they happen in the
+background), so the proposal pays ``t_classify`` on every miss but recoups
+far more through its higher hit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_LATENCY, LatencyConstants
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Evaluate Eqs. 3–6 for a given set of device constants."""
+
+    constants: LatencyConstants = DEFAULT_LATENCY
+
+    @property
+    def hit_cost(self) -> float:
+        """Eq. 4: index lookup + SSD read."""
+        c = self.constants
+        return c.t_query + c.t_ssdr
+
+    def miss_penalty(self, *, classified: bool) -> float:
+        """Eq. 5 (original) or Eq. 6 (with the classification system)."""
+        c = self.constants
+        penalty = c.t_query + c.t_hddr
+        if classified:
+            penalty += c.t_classify
+        return penalty
+
+    def average_latency(self, hit_rate: float, *, classified: bool) -> float:
+        """Eq. 3: expected response time at the given hit rate (seconds)."""
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must be in [0, 1]")
+        return hit_rate * self.hit_cost + (1.0 - hit_rate) * self.miss_penalty(
+            classified=classified
+        )
+
+    def improvement(self, hit_rate_original: float, hit_rate_proposal: float) -> float:
+        """Relative latency reduction of the proposal vs the original.
+
+        Positive values mean the proposal is faster (Fig. 10 reports
+        1.5 %–11 % depending on the replacement policy).
+        """
+        t_orig = self.average_latency(hit_rate_original, classified=False)
+        t_prop = self.average_latency(hit_rate_proposal, classified=True)
+        return (t_orig - t_prop) / t_orig

@@ -1,0 +1,110 @@
+"""Post-hoc admission-quality monitoring with delayed labels.
+
+In production the ground truth of an admission verdict *matures*: once
+``M`` further requests have passed, whether the object was re-accessed
+within the window is known, so the verdict at position *i* can be scored at
+position ``i + M``.  This module evaluates a recorded decision stream that
+way — the ops-side complement to the §4.4.3 retraining schedule (it tells
+you *when* the deployed model has drifted enough to matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labeling import ONE_TIME, one_time_labels
+
+__all__ = ["WindowedQuality", "evaluate_admission_decisions"]
+
+
+@dataclass(frozen=True)
+class WindowedQuality:
+    """Verdict quality over consecutive windows of the request stream."""
+
+    window_size: int
+    precision: np.ndarray   # per window; NaN where undefined
+    recall: np.ndarray
+    accuracy: np.ndarray
+    n_scored: np.ndarray    # matured verdicts per window
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.n_scored.shape[0])
+
+    def worst_window(self) -> int:
+        """Index of the lowest-accuracy window (drift alarm candidate)."""
+        acc = np.where(self.n_scored > 0, self.accuracy, np.inf)
+        return int(np.argmin(acc))
+
+
+def evaluate_admission_decisions(
+    object_ids: np.ndarray,
+    denied: np.ndarray,
+    m_threshold: float,
+    *,
+    window_size: int = 10_000,
+) -> WindowedQuality:
+    """Score a denial stream against matured one-time labels.
+
+    Parameters
+    ----------
+    object_ids:
+        The request stream (trace order).
+    denied:
+        Boolean per request: True where the system refused admission (its
+        "one-time" verdicts).  Requests that hit in the cache should be
+        recorded as ``False`` (the system implicitly treated them as
+        re-accessed).
+    m_threshold:
+        The criterion window ``M`` used by the deployed system.
+    window_size:
+        Requests per evaluation window.
+
+    Only verdicts that have matured — position ``i`` with
+    ``i + M < n`` — are scored; the final partial horizon is excluded so
+    end-of-stream truncation doesn't masquerade as one-time traffic.
+    """
+    object_ids = np.asarray(object_ids)
+    denied = np.asarray(denied, dtype=bool)
+    if object_ids.shape != denied.shape or object_ids.ndim != 1:
+        raise ValueError("object_ids and denied must be 1-D of equal length")
+    if m_threshold <= 0:
+        raise ValueError("m_threshold must be positive")
+    if window_size < 1:
+        raise ValueError("window_size must be >= 1")
+
+    n = object_ids.shape[0]
+    labels = one_time_labels(object_ids, m_threshold) == ONE_TIME
+    horizon = int(np.ceil(m_threshold))
+    scored_n = max(0, n - horizon)
+
+    n_windows = max(1, -(-n // window_size))
+    precision = np.full(n_windows, np.nan)
+    recall = np.full(n_windows, np.nan)
+    accuracy = np.full(n_windows, np.nan)
+    counts = np.zeros(n_windows, dtype=np.int64)
+
+    for w in range(n_windows):
+        lo = w * window_size
+        hi = min((w + 1) * window_size, scored_n)
+        if hi <= lo:
+            continue
+        y = labels[lo:hi]
+        d = denied[lo:hi]
+        counts[w] = hi - lo
+        tp = int(np.sum(d & y))
+        fp = int(np.sum(d & ~y))
+        fn = int(np.sum(~d & y))
+        accuracy[w] = float(np.mean(d == y))
+        precision[w] = tp / (tp + fp) if tp + fp else np.nan
+        recall[w] = tp / (tp + fn) if tp + fn else np.nan
+
+    return WindowedQuality(
+        window_size=window_size,
+        precision=precision,
+        recall=recall,
+        accuracy=accuracy,
+        n_scored=counts,
+    )

@@ -1,0 +1,27 @@
+"""Experiment orchestration: the Figs. 6–10 grid and parallel sweeps.
+
+:class:`~repro.experiments.grid.GridRunner` evaluates the paper's full
+evaluation grid — replacement policies × capacities × {Original, Proposal,
+Ideal, Belady} — sharing per-capacity state (criteria, labels, classifier
+training) across policies exactly as the paper does.  Capacity blocks are
+independent, so the grid parallelises across processes with
+:meth:`~repro.experiments.grid.GridRunner.precompute`.
+"""
+
+from repro.experiments.grid import (
+    CONFIGS,
+    POLICIES,
+    CapacityBlock,
+    GridPoint,
+    GridRunner,
+    format_sweep_table,
+)
+
+__all__ = [
+    "CONFIGS",
+    "POLICIES",
+    "CapacityBlock",
+    "GridPoint",
+    "GridRunner",
+    "format_sweep_table",
+]

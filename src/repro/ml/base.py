@@ -1,0 +1,108 @@
+"""Shared estimator plumbing: input validation and the estimator protocol.
+
+Keeping validation in one place means every classifier in :mod:`repro.ml`
+behaves identically on malformed input, and the hot paths can assume clean,
+contiguous ``float64`` arrays (per the HPC guideline of validating once at
+the boundary and vectorising inside).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "check_array", "check_X_y", "check_sample_weight"]
+
+
+def check_array(X, *, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a contiguous 2-D float64 array.
+
+    Raises ``ValueError`` for empty input, wrong dimensionality, or
+    non-finite values, so estimator internals never have to re-check.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got ndim={X.ndim}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} has no samples")
+    if not np.isfinite(X).all():
+        raise ValueError(f"{name} contains NaN or Inf")
+    return X
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / label vector pair."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got ndim={y.ndim}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}"
+        )
+    return X, y
+
+
+def check_sample_weight(sample_weight, n: int) -> np.ndarray:
+    """Return a validated positive weight vector of length ``n``.
+
+    ``None`` means uniform weights.  Weights are normalised to sum to ``n``
+    so that weighted impurity values stay on the same scale as unweighted
+    ones (this keeps ``min_samples_leaf``-style thresholds meaningful).
+    """
+    if sample_weight is None:
+        return np.ones(n, dtype=np.float64)
+    w = np.ascontiguousarray(sample_weight, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(f"sample_weight must have shape ({n},), got {w.shape}")
+    if (w < 0).any() or not np.isfinite(w).all():
+        raise ValueError("sample_weight must be finite and non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("sample_weight sums to zero")
+    return w * (n / total)
+
+
+class BaseEstimator:
+    """Minimal estimator protocol shared by all classifiers.
+
+    Subclasses implement ``fit`` and ``predict``; ``predict_proba`` is
+    optional.  ``classes_`` is always the sorted array of training labels and
+    predictions are reported in the original label space.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y, sample_weight=None):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on the given test data."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return labels as indices into it."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if self.classes_.shape[0] < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        return encoded.astype(np.int64)
+
+    def __repr__(self) -> str:
+        params = {
+            k: v
+            for k, v in vars(self).items()
+            if not k.endswith("_") and not k.startswith("_")
+        }
+        inner = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"

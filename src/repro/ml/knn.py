@@ -1,0 +1,104 @@
+"""Brute-force k-nearest-neighbours with internal standardisation.
+
+Distances are computed blockwise with the expanded form
+``|a-b|² = |a|² + |b|² − 2a·b`` so memory stays bounded for large test sets
+while the inner product runs through BLAS (the vectorisation guideline for
+this kind of all-pairs kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y, check_array, check_sample_weight
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """KNN with majority (optionally distance-weighted) voting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours ``k``.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance voting).
+    standardize:
+        Standardise features before distance computation (recommended for
+        the paper's mixed-scale features; on by default).
+    block_size:
+        Rows of the query matrix processed per distance block.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        *,
+        weights: str = "uniform",
+        standardize: bool = True,
+        block_size: int = 2048,
+    ):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights: {weights!r}")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.standardize = standardize
+        self.block_size = block_size
+
+    def fit(self, X, y, sample_weight=None) -> "KNeighborsClassifier":
+        X, y_raw = check_X_y(X, y)
+        y = self._encode_labels(y_raw)
+        self._w = check_sample_weight(sample_weight, X.shape[0])
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} > n_samples={X.shape[0]}"
+            )
+        self._scaler = StandardScaler().fit(X) if self.standardize else None
+        self._X = self._scaler.transform(X) if self._scaler else X
+        self._sq_norms = np.einsum("ij,ij->i", self._X, self._X)
+        self._y = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected {self.n_features_in_} features, got {X.shape[1]}"
+            )
+        if self._scaler:
+            X = self._scaler.transform(X)
+        k_classes = self.classes_.shape[0]
+        knn = self.n_neighbors
+        out = np.empty((X.shape[0], k_classes), dtype=np.float64)
+        for start in range(0, X.shape[0], self.block_size):
+            Q = X[start : start + self.block_size]
+            d2 = (
+                np.einsum("ij,ij->i", Q, Q)[:, None]
+                + self._sq_norms[None, :]
+                - 2.0 * (Q @ self._X.T)
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nbr = np.argpartition(d2, knn - 1, axis=1)[:, :knn]
+            rows = np.arange(Q.shape[0])[:, None]
+            votes = self._w[nbr]
+            if self.weights == "distance":
+                votes = votes / (np.sqrt(d2[rows, nbr]) + 1e-12)
+            labels = self._y[nbr]
+            block = np.zeros((Q.shape[0], k_classes))
+            for c in range(k_classes):
+                block[:, c] = np.where(labels == c, votes, 0.0).sum(axis=1)
+            out[start : start + Q.shape[0]] = block / block.sum(
+                axis=1, keepdims=True
+            )
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

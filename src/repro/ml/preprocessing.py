@@ -1,0 +1,96 @@
+"""Feature preprocessing: encoders, scaling, and discretisation.
+
+Section 3.2.3 of the paper discretises photo types and terminal types to
+small integers and buckets time values at 10-minute granularity; KNN and the
+neural network additionally need standardised inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_array
+
+__all__ = ["LabelEncoder", "StandardScaler", "UniformDiscretizer"]
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers ``0..k-1``."""
+
+    def fit(self, values) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(values))
+        self._lut = {v: i for i, v in enumerate(self.classes_.tolist())}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        values = np.asarray(values)
+        try:
+            return np.fromiter(
+                (self._lut[v] for v in values.tolist()),
+                dtype=np.int64,
+                count=values.shape[0],
+            )
+        except KeyError as exc:  # surface *which* label was unseen
+            raise ValueError(f"unseen label: {exc.args[0]!r}") from exc
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min(initial=0) < 0 or indices.max(initial=0) >= len(self.classes_):
+            raise ValueError("index out of range for inverse_transform")
+        return self.classes_[indices]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling; constant columns are left at zero."""
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # A constant feature carries no information: scale by 1 to avoid 0/0.
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = check_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class UniformDiscretizer:
+    """Fixed-width binning, e.g. the paper's 10-minute time buckets.
+
+    Values are floored into bins of width ``bin_width`` starting at
+    ``origin``; output is an int64 bin index, clipped to ``max_bins`` when
+    given (the tail bucket absorbs outliers, mirroring how a bounded feature
+    table would behave in production).
+    """
+
+    def __init__(self, bin_width: float, origin: float = 0.0, max_bins: int | None = None):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if max_bins is not None and max_bins < 1:
+            raise ValueError("max_bins must be >= 1")
+        self.bin_width = float(bin_width)
+        self.origin = float(origin)
+        self.max_bins = max_bins
+
+    def transform(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        bins = np.floor((values - self.origin) / self.bin_width).astype(np.int64)
+        bins = np.maximum(bins, 0)
+        if self.max_bins is not None:
+            bins = np.minimum(bins, self.max_bins - 1)
+        return bins
+
+    __call__ = transform

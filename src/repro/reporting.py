@@ -1,0 +1,147 @@
+"""Plain-text / markdown reporting for experiment results.
+
+Turns the package's result objects into aligned tables and a consolidated
+markdown report — the artefact a downstream user hands around after running
+the reproduction on their own workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.pipeline import ExperimentResult
+from repro.trace.records import Trace
+from repro.trace.stats import compute_stats
+
+__all__ = ["format_table", "experiment_section", "markdown_report", "write_report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    floatfmt: str = ".3f",
+    markdown: bool = False,
+) -> str:
+    """Render an aligned text (or markdown) table.
+
+    Floats are formatted with ``floatfmt``; everything else through
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    if markdown:
+        head = "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        body = [
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            for row in str_rows
+        ]
+        return "\n".join([head, sep, *body])
+    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    body = ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in str_rows]
+    return "\n".join([head, *body])
+
+
+def experiment_section(result: ExperimentResult, *, markdown: bool = True) -> str:
+    """One experiment as a report section (the four-configuration table)."""
+    rows = []
+    for name, sim in (
+        ("original", result.original),
+        ("proposal", result.proposal),
+        ("ideal", result.ideal),
+        ("belady", result.belady),
+    ):
+        if sim is None:
+            continue
+        rows.append(
+            [
+                name,
+                sim.hit_rate,
+                sim.byte_hit_rate,
+                sim.file_write_rate,
+                sim.byte_write_rate,
+            ]
+        )
+    table = format_table(
+        ["config", "hit", "byte hit", "file writes", "byte writes"],
+        rows,
+        markdown=markdown,
+    )
+    header = (
+        f"### {result.policy.upper()} @ "
+        f"{result.capacity_bytes / 2**20:.1f} MiB "
+        f"({100 * result.capacity_fraction:.2f}% of footprint)"
+        if markdown
+        else f"{result.policy.upper()} @ {result.capacity_bytes / 2**20:.1f} MiB"
+    )
+    extras = (
+        f"criterion M = {result.criteria.m_threshold:,.0f}, "
+        f"cost v = {result.cost_v:g}, "
+        f"write reduction = {100 * result.write_reduction:.1f}%, "
+        f"latency {1e3 * result.latency_original:.3f} → "
+        f"{1e3 * result.latency_proposal:.3f} ms "
+        f"({100 * result.latency_improvement:+.1f}%)"
+    )
+    return f"{header}\n\n{table}\n\n{extras}\n"
+
+
+def markdown_report(
+    trace: Trace,
+    results: Sequence[ExperimentResult],
+    *,
+    title: str = "One-time-access-exclusion report",
+) -> str:
+    """Full report: workload statistics + one section per experiment."""
+    stats = compute_stats(trace)
+    lines = [
+        f"# {title}",
+        "",
+        "## Workload",
+        "",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["accesses", f"{stats.n_accesses:,}"],
+                ["objects", f"{stats.n_objects:,}"],
+                ["mean accesses/object", stats.mean_accesses_per_object],
+                ["one-time object fraction", stats.one_time_object_fraction],
+                ["hit-rate cap (1 − N/A)", stats.hit_rate_cap],
+                ["footprint", f"{stats.footprint_bytes / 2**30:.3f} GiB"],
+            ],
+            markdown=True,
+        ),
+        "",
+        "## Experiments",
+        "",
+    ]
+    for result in results:
+        lines.append(experiment_section(result))
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path,
+    trace: Trace,
+    results: Sequence[ExperimentResult],
+    **kwargs,
+) -> Path:
+    """Write the markdown report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(markdown_report(trace, results, **kwargs))
+    return path

@@ -1,0 +1,36 @@
+"""SSD device substrate: flash geometry, FTL, garbage collection, wear.
+
+The paper's motivation chain is: cache admission → fewer SSD writes →
+less write amplification and wear → longer device life (§1–§2: "write
+density" of a caching SSD is ~20× that of backend storage; unnecessary
+writes "fasten SSD wearing").  The paper itself stops at counting cache
+writes; this package carries the chain through an actual device model so
+the lifetime claim can be *computed*:
+
+* :mod:`repro.ssd.geometry` — pages/blocks/over-provisioning;
+* :mod:`repro.ssd.ftl` — page-mapped FTL with greedy garbage collection,
+  TRIM support, and wear accounting (host vs NAND writes → write
+  amplification);
+* :mod:`repro.ssd.wear` — erase-count statistics and a static
+  wear-levelling policy;
+* :mod:`repro.ssd.endurance` — P/E-budget lifetime estimation;
+* :mod:`repro.ssd.cache_device` — adapter that turns a cache simulation's
+  insert/evict stream into FTL traffic.
+"""
+
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.ftl import FTLStats, PageMappedFTL
+from repro.ssd.wear import WearStats
+from repro.ssd.endurance import EnduranceModel, LifetimeEstimate
+from repro.ssd.cache_device import CacheSSD, simulate_on_ssd
+
+__all__ = [
+    "SSDGeometry",
+    "FTLStats",
+    "PageMappedFTL",
+    "WearStats",
+    "EnduranceModel",
+    "LifetimeEstimate",
+    "CacheSSD",
+    "simulate_on_ssd",
+]

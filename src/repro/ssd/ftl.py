@@ -1,0 +1,290 @@
+"""Page-mapped flash translation layer with greedy garbage collection.
+
+Models the device behaviour the paper's lifetime argument rests on:
+
+* out-of-place writes — a logical overwrite programs a fresh page and
+  invalidates the old one;
+* erase-before-reuse at block granularity — blocks are recycled by GC,
+  which must *relocate* still-valid pages first (the source of write
+  amplification);
+* greedy victim selection (fewest valid pages), the baseline the paper's
+  GC-optimisation citations ([5], [33]) improve upon;
+* TRIM — the cache layer invalidates evicted objects, which is what keeps
+  a cache SSD's GC cheap;
+* wear accounting per block, feeding :mod:`repro.ssd.endurance`.
+
+The mapping tables are flat NumPy arrays (one int per page), so even
+multi-GiB devices simulate comfortably.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ssd.geometry import SSDGeometry
+
+__all__ = ["FTLStats", "PageMappedFTL", "DeviceFullError"]
+
+_UNMAPPED = -1
+
+
+class DeviceFullError(RuntimeError):
+    """Raised when a write cannot proceed: every block is fully valid."""
+
+
+@dataclass
+class FTLStats:
+    """Traffic and wear counters.
+
+    ``write_amplification`` = NAND page programs / host page writes — the
+    factor by which GC inflates the paper's "cache writes" once they reach
+    the flash.
+    """
+
+    host_pages_written: int = 0
+    nand_pages_written: int = 0
+    gc_pages_relocated: int = 0
+    erases: int = 0
+    trims: int = 0
+    gc_runs: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_pages_written == 0:
+            return 1.0
+        return self.nand_pages_written / self.host_pages_written
+
+
+class PageMappedFTL:
+    """A page-mapped FTL over :class:`~repro.ssd.geometry.SSDGeometry`.
+
+    Parameters
+    ----------
+    geometry:
+        Device layout.
+    wear_leveling:
+        ``"dynamic"`` (default) allocates the least-worn free block;
+        ``"none"`` allocates FIFO;
+        ``"static"`` additionally forces cold blocks into rotation when the
+        erase-count spread exceeds ``static_wl_spread``.
+    static_wl_spread:
+        Erase-count gap that triggers static wear levelling.
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        *,
+        wear_leveling: str = "dynamic",
+        static_wl_spread: int = 64,
+        n_streams: int = 1,
+    ):
+        if wear_leveling not in ("none", "dynamic", "static"):
+            raise ValueError(f"unknown wear_leveling: {wear_leveling!r}")
+        if static_wl_spread < 1:
+            raise ValueError("static_wl_spread must be >= 1")
+        if n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        # Streams + the dedicated GC append point each pin one open block,
+        # and GC needs at least one spare to make progress.
+        if geometry.n_blocks < n_streams + 3:
+            raise ValueError(
+                f"geometry too small for {n_streams} streams: "
+                f"{geometry.n_blocks} blocks < {n_streams + 3}"
+            )
+        self.geometry = geometry
+        self.wear_leveling = wear_leveling
+        self.static_wl_spread = static_wl_spread
+        self.n_streams = n_streams
+        g = geometry
+
+        self._l2p = np.full(g.user_pages, _UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(g.total_pages, _UNMAPPED, dtype=np.int64)
+        self._valid = np.zeros(g.n_blocks, dtype=np.int32)
+        self._erases = np.zeros(g.n_blocks, dtype=np.int64)
+        self._is_free = np.ones(g.n_blocks, dtype=bool)
+        self._free: deque[int] = deque(range(g.n_blocks))
+
+        # Append points: one per host stream, plus [-1] reserved for GC
+        # relocations (mixing relocated-cold with fresh-hot data is what
+        # multi-stream separation exists to avoid).
+        self._active = [self._take_free_block() for _ in range(n_streams + 1)]
+        self._ptr = [0] * (n_streams + 1)
+        self.stats = FTLStats()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _take_free_block(self) -> int:
+        if not self._free:
+            raise DeviceFullError("no free blocks available")
+        if self.wear_leveling in ("dynamic", "static") and len(self._free) > 1:
+            # Dynamic wear levelling: open the least-worn free block.
+            block = min(self._free, key=lambda b: self._erases[b])
+            self._free.remove(block)
+        else:
+            block = self._free.popleft()
+        self._is_free[block] = False
+        return block
+
+    def _page_of(self, block: int, offset: int) -> int:
+        return block * self.geometry.pages_per_block + offset
+
+    def _invalidate(self, lpn: int) -> None:
+        ppn = self._l2p[lpn]
+        if ppn != _UNMAPPED:
+            self._p2l[ppn] = _UNMAPPED
+            self._valid[ppn // self.geometry.pages_per_block] -= 1
+            self._l2p[lpn] = _UNMAPPED
+
+    def _program(self, lpn: int, stream: int) -> None:
+        """Append one page for ``lpn`` at the stream's write pointer.
+
+        The caller guarantees the stream's active block has room
+        (non-reentrant by construction: GC never triggers inside a
+        program).
+        """
+        assert self._ptr[stream] < self.geometry.pages_per_block
+        block = self._active[stream]
+        ppn = self._page_of(block, self._ptr[stream])
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._valid[block] += 1
+        self.stats.nand_pages_written += 1
+        self._ptr[stream] += 1
+
+    def _advance_active(self, stream: int) -> None:
+        """Open a fresh active block when the stream's block is full."""
+        if self._ptr[stream] < self.geometry.pages_per_block:
+            return
+        self._active[stream] = self._take_free_block()
+        self._ptr[stream] = 0
+
+    def _ensure_free_headroom(self) -> None:
+        """GC until ≥2 free blocks remain (one is the GC spare)."""
+        while len(self._free) <= 1:
+            if not self._gc_once():
+                break
+
+    def _victim_candidates(self) -> np.ndarray:
+        mask = ~self._is_free
+        for block in self._active:
+            mask[block] = False
+        return np.nonzero(mask)[0]
+
+    def _pick_victim(self) -> int | None:
+        candidates = self._victim_candidates()
+        if candidates.shape[0] == 0:
+            return None
+        valid = self._valid[candidates]
+        best = candidates[np.argmin(valid)]
+        if self._valid[best] >= self.geometry.pages_per_block:
+            return None  # no space to reclaim anywhere
+        if self.wear_leveling == "static":
+            spread = self._erases.max() - self._erases.min()
+            if spread > self.static_wl_spread:
+                # Force the least-erased (cold) block into rotation even if
+                # it is mostly valid — classic static wear levelling.
+                cold = candidates[np.argmin(self._erases[candidates])]
+                if self._valid[cold] < self.geometry.pages_per_block:
+                    return int(cold)
+        return int(best)
+
+    def _gc_once(self) -> bool:
+        """Reclaim one block; returns False when nothing can be reclaimed."""
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self.stats.gc_runs += 1
+        ppb = self.geometry.pages_per_block
+        base = victim * ppb
+        live = np.nonzero(self._p2l[base : base + ppb] != _UNMAPPED)[0]
+        for offset in live:
+            lpn = int(self._p2l[base + offset])
+            # Relocate: invalidate old location, program at the append point.
+            self._p2l[base + offset] = _UNMAPPED
+            self._valid[victim] -= 1
+            self._l2p[lpn] = _UNMAPPED
+            self.stats.gc_pages_relocated += 1
+            # A victim has < ppb valid pages, so at most one fresh
+            # destination block (the GC spare) is ever needed per run.
+            # Relocations always land on the dedicated GC stream.
+            gc_stream = self.n_streams
+            self._advance_active(gc_stream)
+            self._program(lpn, gc_stream)
+        # Erase and return to the free pool.
+        assert self._valid[victim] == 0
+        self._erases[victim] += 1
+        self.stats.erases += 1
+        self._is_free[victim] = True
+        self._free.append(victim)
+        return True
+
+    # -------------------------------------------------------------- public
+
+    def write(self, lpn: int, stream: int = 0) -> None:
+        """Host write of one logical page to the given stream.
+
+        Streams separate data by expected lifetime (e.g. the admission
+        classifier's temperature verdict): data that dies together stays
+        in the same blocks, so GC finds mostly-invalid victims and write
+        amplification falls.
+        """
+        if not 0 <= lpn < self.geometry.user_pages:
+            raise ValueError(f"lpn {lpn} out of range")
+        if not 0 <= stream < self.n_streams:
+            raise ValueError(f"stream {stream} out of range")
+        self._invalidate(lpn)
+        self.stats.host_pages_written += 1
+        if self._ptr[stream] == self.geometry.pages_per_block:
+            self._ensure_free_headroom()
+            if not self._free:
+                raise DeviceFullError(
+                    "device full: every block is completely valid"
+                )
+            self._advance_active(stream)
+        self._program(lpn, stream)
+
+    def write_range(self, lpn_start: int, n_pages: int, stream: int = 0) -> None:
+        """Host write of ``n_pages`` consecutive logical pages."""
+        if n_pages <= 0:
+            raise ValueError("n_pages must be positive")
+        for lpn in range(lpn_start, lpn_start + n_pages):
+            self.write(lpn, stream)
+
+    def trim(self, lpn: int) -> None:
+        """Host TRIM: the logical page no longer holds useful data."""
+        if not 0 <= lpn < self.geometry.user_pages:
+            raise ValueError(f"lpn {lpn} out of range")
+        if self._l2p[lpn] != _UNMAPPED:
+            self._invalidate(lpn)
+            self.stats.trims += 1
+
+    def trim_range(self, lpn_start: int, n_pages: int) -> None:
+        for lpn in range(lpn_start, lpn_start + n_pages):
+            self.trim(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return self._l2p[lpn] != _UNMAPPED
+
+    @property
+    def erase_counts(self) -> np.ndarray:
+        """Per-block erase counts (copy)."""
+        return self._erases.copy()
+
+    @property
+    def valid_pages(self) -> int:
+        return int(self._valid.sum())
+
+    def check_invariants(self) -> None:
+        """Internal consistency (used by tests)."""
+        mapped = np.nonzero(self._l2p != _UNMAPPED)[0]
+        assert (self._p2l[self._l2p[mapped]] == mapped).all()
+        per_block = np.bincount(
+            self._l2p[mapped] // self.geometry.pages_per_block,
+            minlength=self.geometry.n_blocks,
+        )
+        assert (per_block == self._valid).all()
+        assert (self._valid >= 0).all()

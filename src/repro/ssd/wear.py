@@ -1,0 +1,57 @@
+"""Wear statistics over per-block erase counts.
+
+The lifetime of a flash device is governed not just by total erases but by
+their *distribution*: an un-levelled device dies when its hottest block
+exhausts its P/E budget.  :class:`WearStats` condenses an erase-count
+vector into the quantities :mod:`repro.ssd.endurance` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WearStats"]
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of a device's wear state."""
+
+    mean_erases: float
+    max_erases: int
+    min_erases: int
+    std_erases: float
+    n_blocks: int
+
+    @classmethod
+    def from_erase_counts(cls, erase_counts) -> "WearStats":
+        e = np.asarray(erase_counts, dtype=np.int64)
+        if e.ndim != 1 or e.shape[0] == 0:
+            raise ValueError("erase_counts must be a non-empty 1-D array")
+        if (e < 0).any():
+            raise ValueError("erase counts must be non-negative")
+        return cls(
+            mean_erases=float(e.mean()),
+            max_erases=int(e.max()),
+            min_erases=int(e.min()),
+            std_erases=float(e.std()),
+            n_blocks=int(e.shape[0]),
+        )
+
+    @property
+    def spread(self) -> int:
+        """Max − min erase count; small spread ⇒ effective wear levelling."""
+        return self.max_erases - self.min_erases
+
+    @property
+    def levelling_efficiency(self) -> float:
+        """mean / max ∈ (0, 1]: 1.0 means perfectly even wear.
+
+        Devices with poor levelling burn their P/E budget at the max-worn
+        block while the average block is still fresh.
+        """
+        if self.max_erases == 0:
+            return 1.0
+        return self.mean_erases / self.max_erases

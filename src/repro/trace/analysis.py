@@ -1,0 +1,169 @@
+"""Workload analysis: the toolkit behind a §2-style trace study.
+
+Functions here answer the questions the paper's motivation section asks of
+its production trace:
+
+* :func:`popularity_zipf_fit` — is request popularity Zipf-like (the paper
+  cites Breslau et al. for this), and with what exponent?
+* :func:`stack_distance_profile` — the LRU hit-rate-vs-capacity curve in
+  one pass (unit-size approximation), i.e. Fig. 2 without simulation;
+* :func:`reuse_interval_stats` — how quickly re-accesses arrive (what makes
+  small caches work);
+* :func:`one_time_share_by_hour` — the §4.4.3 diurnal cycle of *p*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.belady import compute_next_use
+from repro.trace.records import Trace
+
+__all__ = [
+    "ZipfFit",
+    "popularity_zipf_fit",
+    "stack_distance_profile",
+    "reuse_interval_stats",
+    "one_time_share_by_hour",
+]
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares fit of log(count) vs log(rank)."""
+
+    exponent: float        # Zipf's alpha (positive = heavy head)
+    r_squared: float
+    n_objects: int
+    top_1pct_share: float  # request share of the most popular 1%
+
+    @property
+    def is_zipf_like(self) -> bool:
+        """Rule of thumb: good log-log linearity and a real exponent."""
+        return self.r_squared > 0.8 and self.exponent > 0.3
+
+
+def popularity_zipf_fit(trace: Trace, *, min_rank: int = 1) -> ZipfFit:
+    """Fit ``count ∝ rank^(−alpha)`` over the popularity distribution.
+
+    ``min_rank`` skips the first ranks, where real traces routinely deviate
+    from the power law (the paper's cited web-caching work does the same).
+    """
+    counts = trace.access_counts()
+    counts = np.sort(counts[counts > 0])[::-1]
+    if counts.shape[0] < min_rank + 10:
+        raise ValueError("too few objects for a meaningful fit")
+    ranks = np.arange(1, counts.shape[0] + 1)
+    sel = slice(min_rank - 1, None)
+    x = np.log(ranks[sel])
+    y = np.log(counts[sel].astype(np.float64))
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    top = max(1, counts.shape[0] // 100)
+    return ZipfFit(
+        exponent=float(-slope),
+        r_squared=r2,
+        n_objects=int(counts.shape[0]),
+        top_1pct_share=float(counts[:top].sum() / counts.sum()),
+    )
+
+
+def stack_distance_profile(
+    trace: Trace, capacities: np.ndarray | list[int]
+) -> np.ndarray:
+    """LRU hit rate at each capacity (in *objects*), one O(n log n) pass.
+
+    Classic Mattson stack analysis with a Fenwick tree: the LRU stack
+    distance of each access is the number of distinct objects seen since
+    its previous access; it hits in any LRU cache of at least that many
+    (unit-size) slots.  Exact for unit sizes; a good approximation for the
+    photo workload's narrow size distribution.
+    """
+    capacities = np.asarray(capacities, dtype=np.int64)
+    if capacities.ndim != 1 or capacities.shape[0] == 0:
+        raise ValueError("capacities must be a non-empty 1-D array")
+    if (capacities <= 0).any():
+        raise ValueError("capacities must be positive")
+
+    oids = trace.object_ids
+    n = oids.shape[0]
+    # Fenwick (BIT) over access positions marking "most recent occurrence".
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def bit_add(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def bit_sum(i: int) -> int:  # prefix sum over [0, i]
+        i += 1
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last_pos: dict[int, int] = {}
+    distances = np.empty(n, dtype=np.int64)
+    for i, oid in enumerate(oids.tolist()):
+        prev = last_pos.get(oid)
+        if prev is None:
+            distances[i] = np.iinfo(np.int64).max  # cold miss
+        else:
+            # Distinct objects touched in (prev, i) = marks in that range.
+            distances[i] = bit_sum(i - 1) - bit_sum(prev)
+            bit_add(prev, -1)
+        bit_add(i, +1)
+        last_pos[oid] = i
+
+    finite = np.sort(distances[distances != np.iinfo(np.int64).max])
+    # An access with stack distance d (distinct objects between reuses)
+    # hits iff the cache holds d + 1 objects (itself plus the d intruders).
+    hits_at = np.searchsorted(finite, capacities - 1, side="right")
+    return hits_at / n
+
+
+@dataclass(frozen=True)
+class ReuseIntervalStats:
+    median_seconds: float
+    p90_seconds: float
+    within_hour_fraction: float
+    within_day_fraction: float
+
+
+def reuse_interval_stats(trace: Trace) -> ReuseIntervalStats:
+    """Time gaps between consecutive accesses to the same object."""
+    nxt = compute_next_use(trace.object_ids)
+    has_next = nxt != np.iinfo(np.int64).max
+    if not has_next.any():
+        raise ValueError("trace has no re-accesses")
+    ts = trace.timestamps
+    gaps = ts[nxt[has_next]] - ts[has_next]
+    return ReuseIntervalStats(
+        median_seconds=float(np.median(gaps)),
+        p90_seconds=float(np.percentile(gaps, 90)),
+        within_hour_fraction=float(np.mean(gaps <= 3600.0)),
+        within_day_fraction=float(np.mean(gaps <= 86400.0)),
+    )
+
+
+def one_time_share_by_hour(trace: Trace) -> np.ndarray:
+    """Fraction of accesses touching exactly-once objects, per hour of day.
+
+    The paper reports this share peaking at ~05:00 and bottoming at ~20:00
+    (§4.4.3), which is what schedules the daily retraining.
+    """
+    counts = trace.access_counts()
+    is_one_time = counts[trace.object_ids] == 1
+    hours = ((trace.timestamps % 86400.0) / 3600.0).astype(np.int64)
+    share = np.zeros(24)
+    for h in range(24):
+        mask = hours == h
+        share[h] = is_one_time[mask].mean() if mask.any() else 0.0
+    return share

@@ -1,0 +1,145 @@
+"""Photo catalog synthesis: types, sizes, owners, upload times.
+
+§3.2.1: photos come in six resolutions (a, b, c, m, l, o) × two formats
+(png = 0, jpg = 5), twelve types total, with strongly skewed request shares
+(Fig. 3: ``l5`` alone ≈ 45 %).  Photo size correlates with resolution, and
+newer photos are more popular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.owners import OwnerModel
+from repro.trace.records import CATALOG_DTYPE
+
+__all__ = [
+    "PHOTO_TYPES",
+    "PHOTO_TYPE_REQUEST_SHARE",
+    "PHOTO_TYPE_POPULARITY",
+    "RESOLUTION_BASE_BYTES",
+    "generate_catalog",
+]
+
+#: Order fixes the integer encoding used across the package (§3.2.3 maps the
+#: twelve types to discrete values).
+PHOTO_TYPES = ("a0", "a5", "b0", "b5", "c0", "c5", "m0", "m5", "o0", "o5", "l0", "l5")
+
+#: Request-share targets eyeballed from Fig. 3 (l5 dominates at ~45 %; jpg
+#: variants dwarf png).  Values sum to 1.
+PHOTO_TYPE_REQUEST_SHARE = {
+    "a0": 0.015,
+    "a5": 0.07,
+    "b0": 0.015,
+    "b5": 0.10,
+    "c0": 0.010,
+    "c5": 0.08,
+    "m0": 0.025,
+    "m5": 0.15,
+    "o0": 0.005,
+    "o5": 0.05,
+    "l0": 0.030,
+    "l5": 0.45,
+}
+
+#: Relative re-access propensity by type: "for a certain type of photo, the
+#: access probability is relatively stable" (§3.2.1) — the mainstream
+#: display sizes (l5/m5) are re-viewed, originals and thumbnails much less.
+PHOTO_TYPE_POPULARITY = {
+    "a0": 0.5,
+    "a5": 0.7,
+    "b0": 0.5,
+    "b5": 0.8,
+    "c0": 0.5,
+    "c5": 0.8,
+    "m0": 0.7,
+    "m5": 1.2,
+    "o0": 0.3,
+    "o5": 0.5,
+    "l0": 0.8,
+    "l5": 1.5,
+}
+
+#: Median size per resolution letter, bytes.  jpg (suffix 5) is the
+#: reference; png (suffix 0) is ~1.6× larger at equal resolution.
+RESOLUTION_BASE_BYTES = {
+    "a": 3 * 1024,
+    "b": 8 * 1024,
+    "c": 14 * 1024,
+    "m": 30 * 1024,
+    "l": 52 * 1024,
+    "o": 110 * 1024,
+}
+
+_PNG_FACTOR = 1.6
+_SIZE_LOG_SIGMA = 0.45
+
+
+def type_request_share_array() -> np.ndarray:
+    return np.array([PHOTO_TYPE_REQUEST_SHARE[t] for t in PHOTO_TYPES])
+
+
+def type_popularity_array() -> np.ndarray:
+    return np.array([PHOTO_TYPE_POPULARITY[t] for t in PHOTO_TYPES])
+
+
+def _type_base_sizes() -> np.ndarray:
+    out = np.empty(len(PHOTO_TYPES))
+    for i, t in enumerate(PHOTO_TYPES):
+        base = RESOLUTION_BASE_BYTES[t[0]]
+        out[i] = base * (_PNG_FACTOR if t[1] == "0" else 1.0)
+    return out
+
+
+def generate_catalog(
+    n_objects: int,
+    owners: OwnerModel,
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    pre_trace_fraction: float = 0.35,
+    pre_trace_age_scale: float = 30.0 * 86400.0,
+) -> np.ndarray:
+    """Generate a ``CATALOG_DTYPE`` array of ``n_objects`` photos.
+
+    * **type** is drawn from the Fig.-3 request-share mix (per-request and
+      per-photo shares coincide up to the popularity multipliers, which we
+      fold into the propensity model instead);
+    * **size** is log-normal around the resolution's base size;
+    * **owner** assignment is popularity-weighted — active owners upload
+      (and have viewed) more photos;
+    * **upload_time**: ``pre_trace_fraction`` of photos predate the trace
+      (exponential ages, scale ≈ 1 month); the rest upload uniformly during
+      the trace window, matching the observation that workload is dominated
+      by recent photos.
+    """
+    if n_objects < 1:
+        raise ValueError("n_objects must be >= 1")
+    if not 0.0 <= pre_trace_fraction <= 1.0:
+        raise ValueError("pre_trace_fraction must be in [0, 1]")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+
+    catalog = np.empty(n_objects, dtype=CATALOG_DTYPE)
+
+    share = type_request_share_array()
+    catalog["photo_type"] = rng.choice(
+        len(PHOTO_TYPES), size=n_objects, p=share
+    ).astype(np.int8)
+
+    base = _type_base_sizes()[catalog["photo_type"]]
+    sizes = base * rng.lognormal(
+        -0.5 * _SIZE_LOG_SIGMA**2, _SIZE_LOG_SIGMA, size=n_objects
+    )
+    catalog["size"] = np.maximum(sizes.astype(np.int64), 512)
+
+    # Popular owners appear more often in the *viewed* catalog.
+    p_owner = owners.popularity / owners.popularity.sum()
+    catalog["owner_id"] = rng.choice(owners.n_owners, size=n_objects, p=p_owner)
+
+    pre = rng.random(n_objects) < pre_trace_fraction
+    upload = np.empty(n_objects)
+    upload[pre] = -rng.exponential(pre_trace_age_scale, size=int(pre.sum()))
+    upload[~pre] = rng.uniform(0.0, duration, size=int((~pre).sum()))
+    catalog["upload_time"] = upload
+    return catalog

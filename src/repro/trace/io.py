@@ -1,0 +1,89 @@
+"""Trace persistence: compressed NPZ (native) and CSV (interchange).
+
+NPZ keeps the structured arrays intact and round-trips exactly; CSV exports
+one row per access joined with its catalog columns, for inspection or reuse
+by external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.records import ACCESS_DTYPE, CATALOG_DTYPE, Trace
+
+__all__ = ["save_trace", "load_trace", "export_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
+    extra = {}
+    if trace.viral_mask is not None:
+        extra["viral_mask"] = trace.viral_mask
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_FORMAT_VERSION),
+        accesses=trace.accesses,
+        catalog=trace.catalog,
+        owner_active_friends=trace.owner_active_friends,
+        owner_avg_views=trace.owner_avg_views,
+        duration=np.float64(trace.duration),
+        **extra,
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return Trace(
+            accesses=np.ascontiguousarray(data["accesses"], dtype=ACCESS_DTYPE),
+            catalog=np.ascontiguousarray(data["catalog"], dtype=CATALOG_DTYPE),
+            owner_active_friends=data["owner_active_friends"],
+            owner_avg_views=data["owner_avg_views"],
+            duration=float(data["duration"]),
+            viral_mask=data["viral_mask"] if "viral_mask" in data else None,
+        )
+
+
+def export_csv(trace: Trace, path: str | Path, *, limit: int | None = None) -> int:
+    """Export accesses (joined with catalog columns) as CSV.
+
+    Returns the number of rows written.  ``limit`` truncates the export for
+    quick inspection of huge traces.
+    """
+    n = trace.n_accesses if limit is None else min(limit, trace.n_accesses)
+    acc = trace.accesses[:n]
+    cat = trace.catalog[acc["object_id"]]
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "timestamp",
+                "object_id",
+                "terminal",
+                "size",
+                "photo_type",
+                "owner_id",
+                "upload_time",
+            ]
+        )
+        for i in range(n):
+            writer.writerow(
+                [
+                    f"{acc['timestamp'][i]:.3f}",
+                    int(acc["object_id"][i]),
+                    int(acc["terminal"][i]),
+                    int(cat["size"][i]),
+                    int(cat["photo_type"][i]),
+                    int(cat["owner_id"][i]),
+                    f"{cat['upload_time'][i]:.3f}",
+                ]
+            )
+    return n

@@ -1,0 +1,76 @@
+"""Owner (user) population model.
+
+§3.2.1 lists two owner-side features: *active friends* (recent interaction
+partners) and *average views of the owner's photos*.  Both are observable
+proxies of a latent owner popularity, which in turn drives how often the
+owner's photos are re-accessed.  We model:
+
+* latent popularity ``pop ~ LogNormal`` — a heavy-tailed audience size;
+* ``avg_views`` — popularity observed through multiplicative noise (the
+  production statistic is a trailing average, hence noisy);
+* ``active_friends`` — Poisson with mean proportional to popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OwnerModel", "generate_owners"]
+
+
+@dataclass
+class OwnerModel:
+    """A generated owner population.
+
+    ``popularity`` is the ground truth used by the trace generator;
+    ``avg_views``/``active_friends`` are what the classifier gets to see.
+    """
+
+    popularity: np.ndarray      # latent, mean ≈ 1
+    avg_views: np.ndarray       # observable proxy (float)
+    active_friends: np.ndarray  # observable proxy (int)
+
+    @property
+    def n_owners(self) -> int:
+        return int(self.popularity.shape[0])
+
+
+def generate_owners(
+    n_owners: int,
+    rng: np.random.Generator,
+    *,
+    sigma: float = 1.0,
+    views_noise: float = 0.35,
+    friends_scale: float = 25.0,
+) -> OwnerModel:
+    """Draw an owner population.
+
+    Parameters
+    ----------
+    n_owners:
+        Population size.
+    sigma:
+        Log-normal shape of the latent popularity (1.0 gives a realistic
+        heavy tail: a few celebrities, many quiet users).
+    views_noise:
+        Log-space standard deviation of the ``avg_views`` observation.
+    friends_scale:
+        Mean active-friends count of an average-popularity owner.
+    """
+    if n_owners < 1:
+        raise ValueError("n_owners must be >= 1")
+    if sigma <= 0 or views_noise < 0 or friends_scale <= 0:
+        raise ValueError("invalid owner-model parameters")
+    # mean-1 lognormal: exp(N(-sigma^2/2, sigma))
+    popularity = rng.lognormal(-0.5 * sigma * sigma, sigma, size=n_owners)
+    avg_views = popularity * rng.lognormal(
+        -0.5 * views_noise * views_noise, views_noise, size=n_owners
+    )
+    active_friends = rng.poisson(friends_scale * popularity).astype(np.int64)
+    return OwnerModel(
+        popularity=popularity,
+        avg_views=avg_views,
+        active_friends=active_friends,
+    )

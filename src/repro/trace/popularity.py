@@ -1,0 +1,87 @@
+"""Temporal popularity models: diurnal load curve and age decay.
+
+§4.4.3: the one-time fraction *p* follows a daily cycle, highest at 05:00
+and lowest at 20:00, because the active-user population (and hence re-access
+probability) peaks in the evening.  §3.2.1: newer photos are more popular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiurnalModel", "age_decay"]
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DiurnalModel:
+    """Smooth time-of-day activity profile.
+
+    ``rate(t) ∝ 1 + amplitude · cos(2π (h − peak_hour)/24)`` — maximal at
+    ``peak_hour`` (20:00 by default), minimal 12 h away (~05:00 with the
+    slight skew the paper reports handled by ``trough_hour`` being implied).
+
+    ``amplitude`` < 1 keeps the rate strictly positive.
+    """
+
+    peak_hour: float = 20.0
+    amplitude: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValueError("peak_hour must be in [0, 24)")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    def rate(self, t_seconds) -> np.ndarray:
+        """Relative activity at absolute time(s) ``t_seconds``."""
+        h = (np.asarray(t_seconds, dtype=np.float64) % DAY) / 3600.0
+        return 1.0 + self.amplitude * np.cos(
+            2.0 * np.pi * (h - self.peak_hour) / 24.0
+        )
+
+    def sample_time_of_day(
+        self, n: int, rng: np.random.Generator, *, flatness: float = 0.0
+    ) -> np.ndarray:
+        """Draw ``n`` seconds-of-day from the diurnal density.
+
+        ``flatness`` ∈ [0, 1] interpolates toward the uniform distribution —
+        one-time accesses are drawn flatter than re-accesses, which is what
+        makes the access-hour feature informative (§3.2.1) and produces the
+        05:00/20:00 cycle of *p* (§4.4.3).
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if not 0.0 <= flatness <= 1.0:
+            raise ValueError("flatness must be in [0, 1]")
+        amp = self.amplitude * (1.0 - flatness)
+        # Rejection sampling against the cosine density; acceptance
+        # probability is 1/(1+amp) ≥ 0.53, so a small oversample suffices.
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            need = n - filled
+            cand = rng.uniform(0.0, DAY, size=int(need * (1 + amp) * 1.2) + 8)
+            h = cand / 3600.0
+            dens = 1.0 + amp * np.cos(2.0 * np.pi * (h - self.peak_hour) / 24.0)
+            keep = cand[rng.uniform(0.0, 1.0 + amp, size=cand.shape[0]) < dens]
+            take = min(keep.shape[0], need)
+            out[filled : filled + take] = keep[:take]
+            filled += take
+        return out
+
+
+def age_decay(age_seconds, *, half_life: float = 7.0 * DAY) -> np.ndarray:
+    """Relative popularity multiplier for a photo of the given age.
+
+    Power-law-ish decay implemented as ``1 / (1 + age/half_life)`` — at one
+    half-life popularity halves; very old photos keep a small tail (they do
+    still get re-visited occasionally).
+    """
+    if half_life <= 0:
+        raise ValueError("half_life must be positive")
+    age = np.maximum(np.asarray(age_seconds, dtype=np.float64), 0.0)
+    return 1.0 / (1.0 + age / half_life)

@@ -1,0 +1,59 @@
+"""The paper's trace-sampling procedure (§5.1).
+
+To make the 5.8-billion-record trace tractable, the authors (1) extract the
+distinct object set L, (2) sample it 1:100 to get L', and (3) keep the
+original records whose object belongs to L', in timestamp order.  The same
+object-level (not record-level) sampling is reproduced here; it preserves
+per-object access counts — and hence the one-time statistics — exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import ACCESS_DTYPE, Trace
+
+__all__ = ["sample_objects"]
+
+
+def sample_objects(
+    trace: Trace,
+    rate: float = 0.01,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Keep each distinct object independently with probability ``rate``.
+
+    Object ids are re-densified so the sampled catalog stays contiguous.
+    Raises if the sample would be empty (tiny traces + tiny rates).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must be in (0, 1]")
+    rng = np.random.default_rng(rng)
+
+    distinct = np.unique(trace.accesses["object_id"])
+    keep = distinct[rng.random(distinct.shape[0]) < rate]
+    if keep.shape[0] == 0:
+        raise ValueError(
+            f"sampling rate {rate} left no objects (trace has "
+            f"{distinct.shape[0]} distinct objects)"
+        )
+
+    mask = np.isin(trace.accesses["object_id"], keep)
+    kept_accesses = trace.accesses[mask]
+
+    # Re-densify ids: old id -> position in `keep`.
+    new_ids = np.searchsorted(keep, kept_accesses["object_id"])
+    out = np.empty(kept_accesses.shape[0], dtype=ACCESS_DTYPE)
+    out["timestamp"] = kept_accesses["timestamp"]
+    out["object_id"] = new_ids
+    out["terminal"] = kept_accesses["terminal"]
+
+    return Trace(
+        accesses=out,
+        catalog=trace.catalog[keep],
+        owner_active_friends=trace.owner_active_friends,
+        owner_avg_views=trace.owner_avg_views,
+        duration=trace.duration,
+        viral_mask=None if trace.viral_mask is None else trace.viral_mask[keep],
+    )

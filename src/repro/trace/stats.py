@@ -1,0 +1,74 @@
+"""Trace statistics: the §2.2 numbers and the Fig.-3 type histogram."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.catalog import PHOTO_TYPES
+from repro.trace.records import Trace
+
+__all__ = ["TraceStats", "compute_stats", "type_request_histogram"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics mirroring the paper's §2.2 trace analysis."""
+
+    n_accesses: int
+    n_objects: int
+    mean_accesses_per_object: float
+    one_time_object_fraction: float   # paper: 61.5 %
+    one_time_access_fraction: float   # share of accesses that touch one-time objects
+    hit_rate_cap: float               # paper: ≈74.5 % (1 − N/A)
+    footprint_bytes: int
+    mean_object_size: float
+    diurnal_peak_hour: int
+    diurnal_trough_hour: int
+
+    def summary(self) -> str:
+        return (
+            f"accesses={self.n_accesses:,}  objects={self.n_objects:,}  "
+            f"mean acc/obj={self.mean_accesses_per_object:.2f}\n"
+            f"one-time objects: {100 * self.one_time_object_fraction:.1f}%  "
+            f"one-time accesses: {100 * self.one_time_access_fraction:.1f}%  "
+            f"hit-rate cap: {100 * self.hit_rate_cap:.1f}%\n"
+            f"footprint: {self.footprint_bytes / 2**30:.3f} GiB  "
+            f"mean size: {self.mean_object_size / 1024:.1f} KiB  "
+            f"peak hour: {self.diurnal_peak_hour}:00  "
+            f"trough hour: {self.diurnal_trough_hour}:00"
+        )
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """One vectorised pass over the trace."""
+    counts = trace.access_counts()
+    accessed = counts > 0
+    n_objects = int(accessed.sum())
+    n_accesses = trace.n_accesses
+    one_time = counts == 1
+
+    hours = ((trace.timestamps % 86400.0) / 3600.0).astype(np.int64)
+    per_hour = np.bincount(hours, minlength=24)
+
+    return TraceStats(
+        n_accesses=n_accesses,
+        n_objects=n_objects,
+        mean_accesses_per_object=n_accesses / n_objects,
+        one_time_object_fraction=float(one_time.sum() / n_objects),
+        one_time_access_fraction=float(one_time.sum() / n_accesses),
+        hit_rate_cap=1.0 - n_objects / n_accesses,
+        footprint_bytes=trace.footprint_bytes,
+        mean_object_size=trace.mean_object_size(),
+        diurnal_peak_hour=int(np.argmax(per_hour)),
+        diurnal_trough_hour=int(np.argmin(per_hour)),
+    )
+
+
+def type_request_histogram(trace: Trace) -> dict[str, float]:
+    """Share of requests per photo type — the Fig.-3 distribution."""
+    types = trace.catalog["photo_type"][trace.object_ids]
+    counts = np.bincount(types, minlength=len(PHOTO_TYPES))
+    shares = counts / counts.sum()
+    return {name: float(shares[i]) for i, name in enumerate(PHOTO_TYPES)}

@@ -1,0 +1,165 @@
+"""Tests for the trace-driven simulator and stats accounting."""
+
+import pytest
+
+from repro.cache import (
+    CacheStats,
+    LRUCache,
+    POLICY_REGISTRY,
+    make_policy,
+    simulate,
+)
+from repro.cache.base import AdmissionPolicy
+
+
+class DenyAll(AdmissionPolicy):
+    def should_admit(self, index, oid, size):
+        return False
+
+
+class AdmitAll(AdmissionPolicy):
+    def should_admit(self, index, oid, size):
+        return True
+
+
+class RecordingAdmission(AdmissionPolicy):
+    def __init__(self):
+        self.miss_calls = []
+        self.hit_calls = []
+        self.resets = 0
+
+    def should_admit(self, index, oid, size):
+        self.miss_calls.append((index, oid, size))
+        return True
+
+    def on_hit(self, index, oid, size):
+        self.hit_calls.append((index, oid, size))
+
+    def reset(self):
+        self.resets += 1
+
+
+class TestMakePolicy:
+    def test_all_registry_names(self, tiny_trace):
+        for name in POLICY_REGISTRY:
+            p = make_policy(name, 10_000)
+            assert p.capacity == 10_000
+
+    def test_belady_needs_trace(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 1000)
+
+    def test_belady_with_trace(self, tiny_trace):
+        p = make_policy("belady", 10_000, tiny_trace)
+        assert p.capacity == 10_000
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("clock", 1000)
+
+    def test_case_insensitive(self):
+        assert make_policy("LRU", 100).capacity == 100
+
+
+class TestSimulate:
+    def test_stats_are_consistent(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 20)
+        r = simulate(tiny_trace, LRUCache(cap), policy_name="lru")
+        s = r.stats
+        assert s.requests == tiny_trace.n_accesses
+        assert s.hits + s.misses == s.requests
+        assert 0 <= s.hit_rate <= 1
+        assert s.bytes_hit <= s.bytes_requested
+        assert s.files_written <= s.misses
+        assert s.bytes_written <= s.bytes_requested
+
+    def test_always_admit_writes_every_insertable_miss(self, tiny_trace):
+        cap = tiny_trace.footprint_bytes  # everything fits
+        r = simulate(tiny_trace, LRUCache(cap))
+        # With infinite-enough capacity every miss is a compulsory write.
+        assert r.stats.files_written == r.stats.misses
+        # And the hit rate reaches the trace cap (1 − N/A).
+        from repro.trace import compute_stats
+
+        assert r.hit_rate == pytest.approx(compute_stats(tiny_trace).hit_rate_cap)
+
+    def test_deny_all_never_writes(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 20)
+        r = simulate(tiny_trace, LRUCache(cap), admission=DenyAll())
+        assert r.stats.files_written == 0
+        assert r.stats.hits == 0
+        assert r.stats.admissions_denied == r.stats.requests
+
+    def test_admit_all_matches_no_admission(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 20)
+        a = simulate(tiny_trace, LRUCache(cap))
+        b = simulate(tiny_trace, LRUCache(cap), admission=AdmitAll())
+        assert a.stats.hits == b.stats.hits
+        assert a.stats.files_written == b.stats.files_written
+
+    def test_admission_callbacks(self, tiny_trace):
+        cap = tiny_trace.footprint_bytes
+        adm = RecordingAdmission()
+        r = simulate(tiny_trace, LRUCache(cap), admission=adm)
+        assert adm.resets == 1
+        assert len(adm.miss_calls) == r.stats.misses
+        assert len(adm.hit_calls) == r.stats.hits
+        # Indices are trace positions.
+        indices = sorted(i for i, _, _ in adm.miss_calls + adm.hit_calls)
+        assert indices == list(range(tiny_trace.n_accesses))
+
+    def test_result_metadata(self, tiny_trace):
+        r = simulate(tiny_trace, LRUCache(1000), policy_name="lru")
+        assert r.policy == "lru"
+        assert r.capacity_bytes == 1000
+        assert r.admission == "always"
+
+    def test_warmup_excludes_cold_start(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 20)
+        cold = simulate(tiny_trace, LRUCache(cap))
+        warm = simulate(tiny_trace, LRUCache(cap), warmup_fraction=0.3)
+        assert warm.stats.requests < cold.stats.requests
+        # Dropping compulsory misses can only raise the measured hit rate.
+        assert warm.hit_rate >= cold.hit_rate - 0.01
+
+    def test_warmup_zero_equals_default(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 20)
+        a = simulate(tiny_trace, LRUCache(cap))
+        b = simulate(tiny_trace, LRUCache(cap), warmup_fraction=0.0)
+        assert a.stats.hits == b.stats.hits
+
+    def test_warmup_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate(tiny_trace, LRUCache(100), warmup_fraction=1.0)
+
+    def test_byte_rates_weighted_by_size(self, tiny_trace):
+        cap = max(1, tiny_trace.footprint_bytes // 10)
+        r = simulate(tiny_trace, LRUCache(cap))
+        # Byte and file rates differ unless all sizes are equal.
+        assert r.byte_hit_rate != pytest.approx(r.hit_rate, abs=1e-6)
+
+
+class TestCacheStats:
+    def test_empty_stats(self):
+        s = CacheStats()
+        assert s.hit_rate == 0.0
+        assert s.byte_hit_rate == 0.0
+        assert s.file_write_rate == 0.0
+        assert s.byte_write_rate == 0.0
+
+    def test_record_accumulates(self):
+        from repro.cache.base import AccessResult
+
+        s = CacheStats()
+        s.record(100, AccessResult(hit=True), denied=False)
+        s.record(200, AccessResult(hit=False, inserted=True, evicted=(1, 2)), False)
+        s.record(300, AccessResult(hit=False), denied=True)
+        assert s.requests == 3
+        assert s.hits == 1
+        assert s.bytes_hit == 100
+        assert s.files_written == 1
+        assert s.bytes_written == 200
+        assert s.evictions == 2
+        assert s.admissions_denied == 1
+        assert s.hit_rate == pytest.approx(1 / 3)
+        assert s.byte_write_rate == pytest.approx(200 / 600)

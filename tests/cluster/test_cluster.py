@@ -1,0 +1,157 @@
+"""Tests for cache nodes and the two-tier cluster simulation."""
+
+import pytest
+
+from repro.cache import LRUCache
+from repro.cluster import (
+    CacheNode,
+    ClusterLatency,
+    TwoTierCluster,
+    simulate_cluster,
+)
+from repro.core.admission import NeverAdmit, OracleAdmission
+from repro.core.labeling import one_time_labels
+from repro.trace import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=4000, days=2.0, seed=61))
+
+
+def build_cluster(trace, n_oc=3, oc_frac=150, dc_frac=20, oc_admission=None):
+    fp = trace.footprint_bytes
+    nodes = {
+        f"oc{i}": CacheNode(
+            f"oc{i}",
+            LRUCache(max(1, fp // oc_frac)),
+            admission=oc_admission() if oc_admission else None,
+        )
+        for i in range(n_oc)
+    }
+    dc = CacheNode("dc", LRUCache(max(1, fp // dc_frac)))
+    return TwoTierCluster(nodes, dc)
+
+
+class TestCacheNode:
+    def test_hit_miss_counting(self):
+        node = CacheNode("n", LRUCache(10_000))
+        assert node.request(0, 1, 100) is False  # cold miss
+        assert node.request(1, 1, 100) is True   # hit
+        assert node.stats.requests == 2
+        assert node.stats.hits == 1
+        assert node.stats.files_written == 1
+
+    def test_admission_denial_counted(self):
+        node = CacheNode("n", LRUCache(10_000), admission=NeverAdmit())
+        node.request(0, 1, 100)
+        node.request(1, 1, 100)
+        assert node.stats.hits == 0
+        assert node.stats.admissions_denied == 2
+        assert node.stats.files_written == 0
+
+    def test_reset(self):
+        node = CacheNode("n", LRUCache(10_000))
+        node.request(0, 1, 100)
+        node.reset()
+        assert node.stats.requests == 0
+
+
+class TestClusterLatency:
+    def test_ordering(self):
+        lat = ClusterLatency()
+        assert lat.oc_hit() < lat.dc_hit(classified_oc=False)
+        assert lat.dc_hit(classified_oc=False) < lat.backend_read(
+            classified_oc=False, classified_dc=False
+        )
+
+    def test_classification_adds_overhead(self):
+        lat = ClusterLatency()
+        assert lat.dc_hit(classified_oc=True) > lat.dc_hit(classified_oc=False)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ClusterLatency(t_oc_dc=-1.0)
+
+
+class TestTwoTierSimulation:
+    def test_flow_accounting(self, trace):
+        result = simulate_cluster(trace, build_cluster(trace))
+        assert result.requests == trace.n_accesses
+        assert (
+            result.oc_hits + result.dc_hits + result.backend_reads
+            == result.requests
+        )
+        assert result.bytes_to_backend <= result.bytes_to_dc <= result.bytes_total
+        assert 0 <= result.oc_hit_rate <= 1
+        assert 0 <= result.dc_hit_rate <= 1
+        assert result.overall_hit_rate >= result.oc_hit_rate
+
+    def test_per_node_requests_partition(self, trace):
+        result = simulate_cluster(trace, build_cluster(trace))
+        assert sum(result.per_node_requests.values()) == result.requests
+        assert result.load_imbalance >= 1.0
+
+    def test_objects_are_sharded_not_replicated(self, trace):
+        """Each object must live on exactly one OC node."""
+        cluster = build_cluster(trace)
+        simulate_cluster(trace, cluster)
+        seen = {}
+        for name, node in cluster.oc_nodes.items():
+            for oid in range(trace.n_objects):
+                if oid in node.policy:
+                    assert oid not in seen, f"object {oid} on two nodes"
+                    seen[oid] = name
+
+    def test_dc_absorbs_backend_traffic(self, trace):
+        """A bigger DC must cut backend reads (its stated purpose)."""
+        small = simulate_cluster(trace, build_cluster(trace, dc_frac=200))
+        large = simulate_cluster(trace, build_cluster(trace, dc_frac=5))
+        assert large.backend_reads < small.backend_reads
+        assert large.backend_traffic_fraction < small.backend_traffic_fraction
+
+    def test_oc_admission_reduces_fleet_writes(self, trace):
+        labels = one_time_labels(trace.object_ids, 300)
+        plain = simulate_cluster(trace, build_cluster(trace))
+        filtered = simulate_cluster(
+            trace,
+            build_cluster(trace, oc_admission=lambda: OracleAdmission(labels)),
+        )
+        oc_writes_plain = sum(
+            n.stats.files_written for n in plain.oc_nodes.values()
+        )
+        oc_writes_filtered = sum(
+            n.stats.files_written for n in filtered.oc_nodes.values()
+        )
+        assert oc_writes_filtered < oc_writes_plain
+        assert filtered.oc_hit_rate >= plain.oc_hit_rate - 0.01
+
+    def test_latency_consistency(self, trace):
+        result = simulate_cluster(trace, build_cluster(trace))
+        lat = ClusterLatency()
+        lo = lat.oc_hit()
+        hi = lat.backend_read(classified_oc=False, classified_dc=False)
+        assert lo <= result.mean_latency <= hi
+
+    def test_summary_renders(self, trace):
+        result = simulate_cluster(trace, build_cluster(trace))
+        s = result.summary()
+        assert "OC hit" in s and "DC→backend" in s
+
+    def test_needs_oc_nodes(self, trace):
+        with pytest.raises(ValueError):
+            TwoTierCluster({}, CacheNode("dc", LRUCache(100)))
+
+    def test_fresh_clusters_give_identical_runs(self, trace):
+        a = simulate_cluster(trace, build_cluster(trace))
+        b = simulate_cluster(trace, build_cluster(trace))
+        assert a.oc_hits == b.oc_hits
+        assert a.dc_hits == b.dc_hits
+
+    def test_reset_keeps_caches_warm(self, trace):
+        """reset() clears counters but not contents (documented)."""
+        cluster = build_cluster(trace)
+        cold = simulate_cluster(trace, cluster)
+        warm = simulate_cluster(trace, cluster)  # second pass, warm caches
+        assert warm.requests == cold.requests
+        assert warm.oc_hits >= cold.oc_hits  # warm start can only help

@@ -1,0 +1,24 @@
+"""Shared fixtures: small, deterministic datasets and traces."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def binary_dataset():
+    """A separable-with-noise binary problem (features, labels)."""
+    rng = np.random.default_rng(42)
+    n = 1200
+    X = rng.normal(size=(n, 4))
+    y = ((X[:, 0] + 0.5 * X[:, 1] > 0) | (X[:, 2] > 1.5)).astype(int)
+    flip = rng.random(n) < 0.05
+    y = y ^ flip
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A small synthetic trace shared across core/cache tests."""
+    from repro.trace.generator import WorkloadConfig, generate_trace
+
+    return generate_trace(WorkloadConfig(n_objects=800, mean_accesses=4.0, seed=3))

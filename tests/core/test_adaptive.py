@@ -1,0 +1,126 @@
+"""Tests for the self-tuning admission threshold."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, simulate
+from repro.core.adaptive import AdaptiveThresholdAdmission
+from repro.core.labeling import reaccess_distances
+from repro.trace import WorkloadConfig, generate_trace
+
+
+def _synthetic_stream(n=40_000, quality=2.0, seed=0):
+    """Scores correlated with ground-truth one-time-ness."""
+    rng = np.random.default_rng(seed)
+    is_one_time = rng.random(n) < 0.4
+    scores = np.clip(
+        0.5 + quality * 0.2 * (is_one_time * 2 - 1) + rng.normal(0, 0.2, n),
+        0.0,
+        1.0,
+    )
+    # Fabricate distances consistent with the labels under M=100.
+    dist = np.where(is_one_time, 1e9, 10.0)
+    return scores, dist
+
+
+def _drain(adm, scores):
+    """Feed the whole stream as misses; return the denial mask."""
+    return np.array(
+        [not adm.should_admit(i, i, 1) for i in range(scores.shape[0])]
+    )
+
+
+class TestController:
+    def test_converges_to_target_precision(self):
+        scores, dist = _synthetic_stream()
+        adm = AdaptiveThresholdAdmission(
+            scores, dist, 100.0, target_precision=0.8,
+            initial_threshold=0.1,  # far too permissive at start
+        )
+        denied = _drain(adm, scores)
+        # Precision over the last half of the stream ≈ the target.
+        half = scores.shape[0] // 2
+        truth = dist > 100.0
+        tail_precision = truth[half:][denied[half:]].mean()
+        assert tail_precision == pytest.approx(0.8, abs=0.08)
+        assert len(adm.threshold_trace) > 5
+
+    def test_threshold_rises_when_precision_low(self):
+        scores, dist = _synthetic_stream(quality=0.5)  # noisy scores
+        adm = AdaptiveThresholdAdmission(
+            scores, dist, 100.0, target_precision=0.95,
+            initial_threshold=0.3,
+        )
+        _drain(adm, scores)
+        assert adm.final_threshold > 0.3
+
+    def test_threshold_falls_when_precision_high(self):
+        scores, dist = _synthetic_stream(quality=4.0)  # near-perfect scores
+        adm = AdaptiveThresholdAdmission(
+            scores, dist, 100.0, target_precision=0.55,
+            initial_threshold=0.9,
+        )
+        _drain(adm, scores)
+        assert adm.final_threshold < 0.9
+
+    def test_feedback_is_delayed_by_m(self):
+        """No adjustment can happen before the first verdicts mature."""
+        scores, dist = _synthetic_stream(n=500)
+        adm = AdaptiveThresholdAdmission(
+            scores, dist, 400.0, feedback_window=10, initial_threshold=0.5
+        )
+        for i in range(300):  # all verdicts still immature
+            adm.should_admit(i, i, 1)
+        assert adm.threshold_trace == [0.5]
+
+    def test_history_table_rectifies(self):
+        scores = np.ones(10)          # everything looks one-time
+        dist = np.full(10, 2.0)       # but everything comes right back
+        adm = AdaptiveThresholdAdmission(scores, dist, 100.0)
+        assert not adm.should_admit(0, 7, 1)   # denied, tabled
+        assert adm.should_admit(3, 7, 1)       # rectified on the comeback
+        assert adm.rectified_admits == 1
+
+    def test_reset(self):
+        scores, dist = _synthetic_stream(n=1000)
+        adm = AdaptiveThresholdAdmission(scores, dist, 50.0)
+        _drain(adm, scores[:1000])
+        adm.reset()
+        assert adm.denied == 0
+        assert adm.threshold_trace == [adm.tau]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m_threshold=0),
+            dict(target_precision=1.0),
+            dict(initial_threshold=1.5),
+            dict(step=0.0),
+            dict(feedback_window=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        scores, dist = _synthetic_stream(n=100)
+        defaults = dict(m_threshold=10.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdAdmission(scores, dist, **defaults)
+
+
+class TestOnRealWorkload:
+    def test_reduces_writes_without_hit_collapse(self):
+        trace = generate_trace(WorkloadConfig(n_objects=4000, days=3.0, seed=77))
+        cap = max(1, trace.footprint_bytes // 60)
+        dist = reaccess_distances(trace.object_ids)
+        # Cheap score: long predicted distance via noisy oracle proxy.
+        rng = np.random.default_rng(0)
+        truth = (dist > 500).astype(float)
+        scores = np.clip(truth * 0.6 + rng.random(trace.n_accesses) * 0.4, 0, 1)
+
+        plain = simulate(trace, LRUCache(cap))
+        adm = AdaptiveThresholdAdmission(
+            scores, dist, 500.0, target_precision=0.7
+        )
+        filtered = simulate(trace, LRUCache(cap), admission=adm)
+        assert filtered.stats.files_written < plain.stats.files_written
+        assert filtered.hit_rate >= plain.hit_rate - 0.02

@@ -1,0 +1,137 @@
+"""Tests for the one-time-access criterion (§4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import Criteria, estimate_hit_rate, solve_criteria
+from repro.core.labeling import reaccess_distances
+
+
+def _distances(seed=0, n=20_000, n_objects=2_000):
+    rng = np.random.default_rng(seed)
+    ids = rng.zipf(1.4, n) % n_objects
+    return reaccess_distances(ids)
+
+
+class TestSolveCriteria:
+    def test_matches_equation_two(self):
+        """At the fixed point, M = C / (S (1−h)(1−p)) must hold exactly."""
+        d = _distances()
+        c = solve_criteria(d, cache_bytes=10_000_000, mean_object_size=1000, hit_rate=0.5)
+        slots = 10_000_000 / 1000
+        expected = slots / ((1 - c.hit_rate) * (1 - c.one_time_share))
+        assert c.m_threshold == pytest.approx(expected)
+
+    def test_p_is_measured_share(self):
+        d = _distances()
+        c = solve_criteria(d, 10_000_000, 1000, hit_rate=0.5)
+        # p reported is the share under the pre-update M (one iteration lag
+        # of the paper's loop); re-measuring under a re-derived M must agree
+        # closely once converged.
+        m_for_p = c.cache_bytes / c.mean_object_size / (
+            (1 - c.hit_rate) * (1 - c.one_time_share)
+        )
+        assert float(np.mean(d > m_for_p)) == pytest.approx(
+            c.one_time_share, abs=0.05
+        )
+
+    def test_m_grows_with_capacity(self):
+        d = _distances()
+        caps = [1_000_000, 5_000_000, 20_000_000]
+        ms = [solve_criteria(d, c, 1000, hit_rate=0.4).m_threshold for c in caps]
+        assert ms[0] < ms[1] < ms[2]
+
+    def test_m_grows_with_hit_rate(self):
+        d = _distances()
+        m_low = solve_criteria(d, 5_000_000, 1000, hit_rate=0.2).m_threshold
+        m_high = solve_criteria(d, 5_000_000, 1000, hit_rate=0.8).m_threshold
+        assert m_high > m_low
+
+    def test_p_in_unit_interval(self):
+        d = _distances()
+        c = solve_criteria(d, 5_000_000, 1000, hit_rate=0.5)
+        assert 0.0 <= c.one_time_share < 1.0
+
+    def test_estimated_h_used_when_not_given(self):
+        d = _distances()
+        c = solve_criteria(d, 5_000_000, 1000)
+        assert 0.0 <= c.hit_rate < 1.0
+
+    def test_paper_iteration_count_default(self):
+        d = _distances()
+        assert solve_criteria(d, 5_000_000, 1000, hit_rate=0.5).iterations == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cache_bytes=0, mean_object_size=1.0),
+            dict(cache_bytes=100, mean_object_size=0.0),
+            dict(cache_bytes=100, mean_object_size=1.0, hit_rate=1.5),
+            dict(cache_bytes=100, mean_object_size=1.0, iterations=0),
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            solve_criteria(_distances(), **kwargs)
+
+    def test_empty_distances_rejected(self):
+        with pytest.raises(ValueError):
+            solve_criteria(np.array([]), 100, 1.0)
+
+    def test_all_one_time_trace(self):
+        """Every distance infinite (no reuse at all) must not blow up."""
+        d = np.full(100, np.inf)
+        c = solve_criteria(d, 1000, 10, hit_rate=0.0)
+        assert np.isfinite(c.m_threshold)
+
+    @given(st.floats(0.0, 0.95), st.integers(10_000, 10_000_000))
+    @settings(max_examples=25, deadline=None)
+    def test_m_always_positive_finite(self, h, cap):
+        c = solve_criteria(_distances(), cap, 1000, hit_rate=h)
+        assert c.m_threshold > 0
+        assert np.isfinite(c.m_threshold)
+
+
+class TestLIRSVariant:
+    def test_m_lirs_scaled_by_rs(self):
+        d = _distances()
+        base = solve_criteria(d, 5_000_000, 1000, hit_rate=0.5)
+        lirs = base.for_lirs(0.95)
+        assert lirs.m_threshold == pytest.approx(0.95 * base.m_threshold)
+        assert lirs.rs == 0.95
+        # M_LIRS < M_LRU: LIRS needs to see less far into the future (§5.2).
+        assert lirs.m_threshold < base.m_threshold
+
+    def test_invalid_rs(self):
+        base = solve_criteria(_distances(), 5_000_000, 1000, hit_rate=0.5)
+        with pytest.raises(ValueError):
+            base.for_lirs(0.0)
+        with pytest.raises(ValueError):
+            base.for_lirs(1.5)
+
+
+class TestEstimateHitRate:
+    def test_bounds(self):
+        h = estimate_hit_rate(_distances(), 5_000_000, 1000)
+        assert 0.0 <= h < 1.0
+
+    def test_monotone_in_capacity(self):
+        d = _distances()
+        hs = [estimate_hit_rate(d, c, 1000) for c in (10_000, 1_000_000, 100_000_000)]
+        assert hs[0] <= hs[1] <= hs[2]
+
+    def test_roughly_tracks_simulation(self, tiny_trace):
+        """The stack estimate should land within ~0.15 of simulated LRU."""
+        from repro.cache import LRUCache, simulate
+
+        d = reaccess_distances(tiny_trace.object_ids)
+        cap = max(1, tiny_trace.footprint_bytes // 50)
+        est = estimate_hit_rate(d, cap, tiny_trace.mean_object_size())
+        sim = simulate(tiny_trace, LRUCache(cap)).hit_rate
+        assert abs(est - sim) < 0.15
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            estimate_hit_rate(_distances(), 0, 1.0)

@@ -1,0 +1,110 @@
+"""Tests for online (per-request) feature tracking and admission.
+
+The crucial property: the online tracker must reproduce the offline
+vectorised feature matrix *exactly* — if it can be computed left-to-right
+with only past state, the offline pipeline is provably causal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, simulate
+from repro.core.admission import ClassifierAdmission
+from repro.core.features import FEATURE_NAMES, PAPER_FEATURE_NAMES, extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import one_time_labels
+from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
+from repro.ml import DecisionTreeClassifier
+from repro.trace import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=1200, days=2.0, seed=41))
+
+
+@pytest.fixture(scope="module")
+def fitted_model(trace):
+    labels = one_time_labels(trace.object_ids, 300)
+    fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+    return DecisionTreeClassifier(max_splits=30, rng=0).fit(fm.X, labels), labels
+
+
+class TestTrackerEquivalence:
+    def test_online_matches_offline_exactly(self, trace):
+        """Every feature, every access: online == offline."""
+        offline = extract_features(trace)
+        tracker = OnlineFeatureTracker(trace, feature_names=FEATURE_NAMES)
+        for i in range(trace.n_accesses):
+            x = tracker.features(i)
+            np.testing.assert_allclose(
+                x, offline.X[i], err_msg=f"mismatch at access {i}"
+            )
+            tracker.observe(i)
+
+    def test_subset_ordering(self, trace):
+        tracker = OnlineFeatureTracker(trace)  # paper's five
+        x = tracker.features(0)
+        assert x.shape == (len(PAPER_FEATURE_NAMES),)
+
+    def test_unknown_feature_rejected(self, trace):
+        with pytest.raises(ValueError):
+            OnlineFeatureTracker(trace, feature_names=("nope",))
+
+    def test_reset_clears_state(self, trace):
+        tracker = OnlineFeatureTracker(trace)
+        tracker.observe(0)
+        tracker.reset()
+        assert tracker._last_access == {}
+        assert len(tracker._recent) == 0
+
+
+class TestOnlineAdmission:
+    def test_matches_batch_admission(self, trace, fitted_model):
+        """Online and batch classifier admission must produce identical runs."""
+        model, _ = fitted_model
+        fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+        predictions = model.predict(fm.X)
+        m = 300.0
+        cap = max(1, trace.footprint_bytes // 50)
+
+        batch = simulate(
+            trace,
+            LRUCache(cap),
+            admission=ClassifierAdmission(predictions, m, HistoryTable(64)),
+        )
+        online_adm = OnlineClassifierAdmission(
+            model, OnlineFeatureTracker(trace), m, HistoryTable(64)
+        )
+        online = simulate(trace, LRUCache(cap), admission=online_adm)
+
+        assert online.stats.hits == batch.stats.hits
+        assert online.stats.files_written == batch.stats.files_written
+        assert online.stats.admissions_denied == batch.stats.admissions_denied
+
+    def test_decision_latency_measured(self, trace, fitted_model):
+        model, _ = fitted_model
+        adm = OnlineClassifierAdmission(
+            model, OnlineFeatureTracker(trace), 300.0
+        )
+        cap = max(1, trace.footprint_bytes // 50)
+        simulate(trace, LRUCache(cap), admission=adm)
+        assert adm.decisions > 0
+        assert adm.mean_decision_seconds > 0
+        # Python per-decision cost should still be well under a millisecond.
+        assert adm.mean_decision_seconds < 5e-3
+
+    def test_reset(self, trace, fitted_model):
+        model, _ = fitted_model
+        adm = OnlineClassifierAdmission(
+            model, OnlineFeatureTracker(trace), 300.0
+        )
+        adm.should_admit(0, int(trace.object_ids[0]), 100)
+        adm.reset()
+        assert adm.decisions == 0
+        assert len(adm.history) == 0
+
+    def test_invalid_threshold(self, trace, fitted_model):
+        model, _ = fitted_model
+        with pytest.raises(ValueError):
+            OnlineClassifierAdmission(model, OnlineFeatureTracker(trace), 0.0)

@@ -1,0 +1,123 @@
+"""Tests for the estimator plumbing: validation and the base protocol."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import (
+    BaseEstimator,
+    check_array,
+    check_sample_weight,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_coerces_to_2d_float64(self):
+        out = check_array([1, 2, 3])
+        assert out.shape == (3, 1)
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_passthrough_2d(self):
+        X = np.random.default_rng(0).random((4, 2))
+        out = check_array(X)
+        np.testing.assert_array_equal(out, X)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no samples"):
+            check_array(np.zeros((0, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[np.nan]])
+        with pytest.raises(ValueError):
+            check_array([[np.inf]])
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="Q contains"):
+            check_array([[np.nan]], name="Q")
+
+
+class TestCheckXY:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_X_y(np.zeros((3, 1)), np.zeros(4))
+
+    def test_y_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.zeros((3, 1)), np.zeros((3, 1)))
+
+    def test_labels_not_coerced(self):
+        _, y = check_X_y(np.zeros((2, 1)), np.array(["a", "b"]))
+        assert y.dtype.kind == "U"
+
+
+class TestCheckSampleWeight:
+    def test_none_gives_uniform(self):
+        w = check_sample_weight(None, 4)
+        np.testing.assert_array_equal(w, np.ones(4))
+
+    def test_normalised_to_sum_n(self):
+        w = check_sample_weight([1.0, 3.0], 2)
+        assert w.sum() == pytest.approx(2.0)
+        assert w[1] == pytest.approx(3 * w[0])
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_sample_weight([1.0], 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_sample_weight([-1.0, 2.0], 2)
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            check_sample_weight([0.0, 0.0], 2)
+
+
+class TestBaseEstimator:
+    class _Stub(BaseEstimator):
+        def fit(self, X, y, sample_weight=None):
+            X, y = check_X_y(X, y)
+            self._y = self._encode_labels(y)
+            return self
+
+        def predict(self, X):
+            X = check_array(X)
+            return np.full(X.shape[0], self.classes_[0])
+
+    def test_score_is_accuracy(self):
+        model = self._Stub().fit([[0.0], [1.0]], [0, 1])
+        assert model.score([[0.0], [1.0]], [0, 0]) == pytest.approx(1.0)
+        assert model.score([[0.0], [1.0]], [1, 1]) == pytest.approx(0.0)
+
+    def test_encode_labels_sorted(self):
+        model = self._Stub().fit([[0.0], [1.0], [2.0]], ["c", "a", "b"])
+        assert model.classes_.tolist() == ["a", "b", "c"]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            self._Stub().fit([[0.0], [1.0]], [1, 1])
+
+    def test_check_fitted(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            self._Stub()._check_fitted()
+
+    def test_repr_lists_params(self):
+        class P(BaseEstimator):
+            def __init__(self):
+                self.alpha = 3
+                self.fitted_ = "hidden"
+
+            def fit(self, X, y, sample_weight=None):
+                return self
+
+            def predict(self, X):
+                return np.zeros(1)
+
+        assert "alpha=3" in repr(P())
+        assert "hidden" not in repr(P())

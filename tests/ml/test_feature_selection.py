@@ -1,0 +1,114 @@
+"""Tests for information gain and the §3.2.2 greedy forward selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, greedy_forward_selection, information_gain
+from repro.ml.feature_selection import entropy
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy([0, 1, 0, 1]) == pytest.approx(1.0)
+
+    def test_pure_is_zero(self):
+        assert entropy([1, 1, 1]) == pytest.approx(0.0)
+
+    def test_four_uniform_classes_two_bits(self):
+        assert entropy([0, 1, 2, 3]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            entropy([])
+
+
+class TestInformationGain:
+    def test_perfectly_informative_feature(self):
+        y = np.array([0, 0, 1, 1] * 50)
+        x = y.astype(float)
+        assert information_gain(x, y) == pytest.approx(1.0)
+
+    def test_independent_feature_near_zero(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        x = rng.random(5000)
+        assert information_gain(x, y) < 0.02
+
+    def test_gain_never_exceeds_label_entropy(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 500)
+        for _ in range(5):
+            x = rng.random(500)
+            assert -1e-9 <= information_gain(x, y) <= entropy(y) + 1e-9
+
+    def test_continuous_binning_path(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=3000)
+        y = (x > 0).astype(int)
+        # With 32 equal-width bins the split is almost fully recoverable.
+        assert information_gain(x, y, n_bins=32) > 0.8
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            information_gain([1, 2], [1])
+
+
+class TestGreedySelection:
+    def _dataset(self):
+        rng = np.random.default_rng(3)
+        n = 1500
+        signal = rng.integers(0, 2, n)
+        x0 = signal + rng.normal(0, 0.1, n)           # strong feature
+        x1 = signal + rng.normal(0, 1.0, n)           # weak feature
+        x2 = rng.normal(size=n)                        # pure noise
+        X = np.column_stack([x2, x0, x1])              # noise first
+        return X, signal
+
+    def test_strong_feature_selected_first(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=5, rng=0), X, y
+        )
+        assert result.selected[0] == 1  # x0 (strong) has the highest gain
+
+    def test_noise_feature_not_required(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=5, rng=0), X, y,
+            min_improvement=0.005,
+        )
+        # Selection stops before the pure-noise column is forced in.
+        assert 0 not in result.selected or len(result.selected) < 3
+
+    def test_max_features_budget(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=5, rng=0), X, y, max_features=1
+        )
+        assert len(result.selected) == 1
+
+    def test_scores_are_increasing(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=5, rng=0), X, y
+        )
+        assert all(b > a for a, b in zip(result.scores, result.scores[1:]))
+
+    def test_gains_cover_all_features(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=3, rng=0), X, y
+        )
+        assert set(result.gains) == {0, 1, 2}
+
+    def test_names_helper(self):
+        X, y = self._dataset()
+        result = greedy_forward_selection(
+            DecisionTreeClassifier(max_splits=3, rng=0), X, y, max_features=2
+        )
+        names = result.names(["noise", "strong", "weak"])
+        assert names[0] == "strong"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_forward_selection(DecisionTreeClassifier(), np.zeros(5), np.zeros(5))

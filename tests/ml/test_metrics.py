@@ -1,0 +1,209 @@
+"""Tests for repro.ml.metrics — confusion matrix, P/R/acc, ROC/AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    calibration_curve,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestConfusionMatrix:
+    def test_binary_counts(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 0, 1, 1]
+        cm = confusion_matrix(y_true, y_pred)
+        # rows = truth (0, 1), cols = prediction
+        assert cm[0, 0] == 1  # TN
+        assert cm[0, 1] == 1  # FP
+        assert cm[1, 0] == 1  # FN
+        assert cm[1, 1] == 2  # TP
+
+    def test_sum_equals_n(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        assert confusion_matrix(y_true, y_pred).sum() == 100
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([2, 1], [1, 2], labels=[2, 1])
+        assert cm[0, 1] == 1 and cm[1, 0] == 1
+
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        cm = confusion_matrix(y, y)
+        assert (cm == np.diag(np.diag(cm))).all()
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 0], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+
+class TestPrecisionRecall:
+    def test_textbook_values(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(3 / 5)
+
+    def test_no_positive_predictions_gives_zero_precision(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_positive_truth_gives_zero_recall(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_custom_pos_label(self):
+        y_true = ["a", "b", "a"]
+        y_pred = ["a", "a", "a"]
+        assert recall_score(y_true, y_pred, pos_label="a") == 1.0
+        assert precision_score(y_true, y_pred, pos_label="a") == pytest.approx(2 / 3)
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p, r = 2 / 3, 2 / 3
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=60),
+        st.lists(st.integers(0, 1), min_size=2, max_size=60),
+    )
+    def test_metrics_bounded(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        for fn in (precision_score, recall_score, accuracy_score, f1_score):
+            assert 0.0 <= fn(a, b) <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+    def test_perfect_prediction_scores_one(self, y):
+        assert accuracy_score(y, y) == 1.0
+        if any(v == 1 for v in y):
+            assert precision_score(y, y) == 1.0
+            assert recall_score(y, y) == 1.0
+
+
+class TestROC:
+    def test_perfect_separation_auc_one(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.2, 0.8, 0.9]
+        assert roc_auc_score(y, s) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        y = [0, 0, 1, 1]
+        s = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc_score(y, s) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(7)
+        y = rng.integers(0, 2, 8000)
+        s = rng.random(8000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_curve_endpoints(self):
+        y = [0, 1, 0, 1, 1]
+        s = [0.2, 0.3, 0.5, 0.7, 0.9]
+        fpr, tpr, thr = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thr[0] == np.inf
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_auc_equals_rank_statistic(self):
+        """AUC must equal P(score_pos > score_neg) + 0.5 P(tie)."""
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, 300)
+        y[:5] = [0, 1, 0, 1, 1]  # both classes guaranteed
+        s = rng.integers(0, 10, 300).astype(float)  # many ties
+        pos = s[y == 1]
+        neg = s[y == 0]
+        gt = (pos[:, None] > neg[None, :]).mean()
+        ties = (pos[:, None] == neg[None, :]).mean()
+        assert roc_auc_score(y, s) == pytest.approx(gt + 0.5 * ties)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.5, 0.6])
+
+    def test_auc_trapezoid(self):
+        assert auc([0, 1], [0, 1]) == pytest.approx(0.5)
+        assert auc([0, 0.5, 1], [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_auc_rejects_nonmonotonic_x(self):
+        with pytest.raises(ValueError):
+            auc([0, 1, 0.5], [0, 1, 0])
+
+
+class TestCalibrationCurve:
+    def test_calibrated_scores_track_diagonal(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(50_000)
+        y = (rng.random(50_000) < p).astype(int)
+        mean_pred, observed, counts = calibration_curve(y, p, n_bins=10)
+        np.testing.assert_allclose(mean_pred, observed, atol=0.03)
+        assert counts.sum() == 50_000
+
+    def test_overconfident_scores_diverge(self):
+        rng = np.random.default_rng(1)
+        p_true = rng.random(20_000)
+        y = (rng.random(20_000) < p_true).astype(int)
+        # Push scores toward the extremes: overconfidence.
+        p_over = np.clip(p_true * 1.8 - 0.4, 0.0, 1.0)
+        mean_pred, observed, _ = calibration_curve(y, p_over, n_bins=10)
+        assert np.abs(mean_pred - observed).max() > 0.05
+
+    def test_empty_bins_dropped(self):
+        y = [0, 1, 0, 1]
+        p = [0.05, 0.07, 0.93, 0.95]  # only the extreme bins are populated
+        mean_pred, observed, counts = calibration_curve(y, p, n_bins=10)
+        assert mean_pred.shape[0] == 2
+        assert counts.tolist() == [2, 2]
+
+    def test_prob_one_lands_in_last_bin(self):
+        mean_pred, _, counts = calibration_curve([1], [1.0], n_bins=5)
+        assert mean_pred[0] == 1.0 and counts[0] == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            calibration_curve([], [])
+        with pytest.raises(ValueError):
+            calibration_curve([1], [1.5])
+        with pytest.raises(ValueError):
+            calibration_curve([1], [0.5], n_bins=0)
+
+
+class TestClassificationReport:
+    def test_contains_table1_metrics(self):
+        y = [0, 1, 1, 0]
+        p = [0, 1, 0, 0]
+        s = [0.1, 0.9, 0.4, 0.2]
+        rep = classification_report(y, p, s)
+        assert set(rep) == {"precision", "recall", "accuracy", "auc"}
+        assert rep["precision"] == 1.0
+        assert rep["recall"] == 0.5
+
+    def test_without_scores_no_auc(self):
+        rep = classification_report([0, 1], [0, 1])
+        assert "auc" not in rep

@@ -1,0 +1,110 @@
+"""Tests for wear statistics and the endurance/lifetime model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd import EnduranceModel, SSDGeometry, WearStats
+from repro.ssd.endurance import write_density_ratio
+
+
+class TestWearStats:
+    def test_from_counts(self):
+        w = WearStats.from_erase_counts([1, 2, 3, 4])
+        assert w.mean_erases == 2.5
+        assert w.max_erases == 4
+        assert w.min_erases == 1
+        assert w.spread == 3
+        assert w.n_blocks == 4
+
+    def test_perfect_levelling(self):
+        w = WearStats.from_erase_counts([5, 5, 5])
+        assert w.levelling_efficiency == 1.0
+        assert w.spread == 0
+
+    def test_unworn_device(self):
+        w = WearStats.from_erase_counts([0, 0])
+        assert w.levelling_efficiency == 1.0
+
+    def test_bad_levelling_low_efficiency(self):
+        w = WearStats.from_erase_counts([0, 0, 0, 100])
+        assert w.levelling_efficiency == pytest.approx(0.25)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            WearStats.from_erase_counts([])
+        with pytest.raises(ValueError):
+            WearStats.from_erase_counts([-1])
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_efficiency_bounded(self, counts):
+        w = WearStats.from_erase_counts(counts)
+        assert 0.0 < w.levelling_efficiency <= 1.0
+        assert w.min_erases <= w.mean_erases <= w.max_erases
+
+
+class TestEnduranceModel:
+    @pytest.fixture
+    def model(self):
+        return EnduranceModel(
+            SSDGeometry(user_bytes=2**30, pe_cycle_limit=3000)
+        )
+
+    def test_budget_scales_with_pe_limit(self):
+        g1 = SSDGeometry(user_bytes=2**30, pe_cycle_limit=1000)
+        g2 = SSDGeometry(user_bytes=2**30, pe_cycle_limit=3000)
+        b1 = EnduranceModel(g1).program_budget_bytes()
+        b2 = EnduranceModel(g2).program_budget_bytes()
+        assert b2 == pytest.approx(3 * b1)
+
+    def test_lifetime_inverse_in_traffic(self, model):
+        slow = model.lifetime(2**30)
+        fast = model.lifetime(4 * 2**30)
+        assert slow.lifetime_days == pytest.approx(4 * fast.lifetime_days)
+
+    def test_write_amplification_shortens_life(self, model):
+        clean = model.lifetime(2**30, write_amplification=1.0)
+        dirty = model.lifetime(2**30, write_amplification=2.5)
+        assert clean.ratio_vs(dirty) == pytest.approx(2.5)
+
+    def test_wear_derates_budget(self, model):
+        even = model.lifetime(2**30)
+        uneven = model.lifetime(
+            2**30, wear=WearStats.from_erase_counts([1, 1, 1, 10])
+        )
+        assert uneven.lifetime_days < even.lifetime_days
+
+    def test_write_reduction_extends_life_proportionally(self, model):
+        """The paper's headline: 79% fewer writes ⇒ ~4.8× lifetime."""
+        base = model.lifetime(2**30)
+        reduced = model.lifetime(int(2**30 * (1 - 0.79)))
+        assert reduced.ratio_vs(base) == pytest.approx(1 / 0.21, rel=0.01)
+
+    def test_invalid(self, model):
+        with pytest.raises(ValueError):
+            model.lifetime(0)
+        with pytest.raises(ValueError):
+            model.lifetime(1, write_amplification=0.5)
+        with pytest.raises(ValueError):
+            model.program_budget_bytes(levelling_efficiency=0.0)
+
+
+class TestWriteDensity:
+    def test_paper_example_twenty_to_one(self):
+        """§1: 1 TB SSD cache vs 10×2 TB HDD backend ⇒ ~20:1."""
+        ratio = write_density_ratio(
+            cache_bytes=1e12, backend_bytes=20e12, cache_write_fraction=1.0
+        )
+        assert ratio == pytest.approx(20.0)
+
+    def test_admission_filter_lowers_density(self):
+        full = write_density_ratio(1e12, 20e12, 1.0)
+        filtered = write_density_ratio(1e12, 20e12, 0.21)  # −79% writes
+        assert filtered == pytest.approx(full * 0.21)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            write_density_ratio(0, 1, 1)
+        with pytest.raises(ValueError):
+            write_density_ratio(1, 1, 0.0)

@@ -1,0 +1,48 @@
+"""Tests for SSD geometry derivations."""
+
+import pytest
+
+from repro.ssd import SSDGeometry
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        g = SSDGeometry(user_bytes=2**20, page_bytes=4096, pages_per_block=64)
+        assert g.block_bytes == 4096 * 64
+        assert g.user_pages == 256
+        assert g.n_blocks >= 256 // 64 + 2
+        assert g.total_pages == g.n_blocks * g.pages_per_block
+
+    def test_physical_exceeds_user(self):
+        g = SSDGeometry(user_bytes=2**24, page_bytes=4096, pages_per_block=64)
+        assert g.total_pages * g.page_bytes > g.user_pages * g.page_bytes
+
+    def test_user_pages_ceil(self):
+        g = SSDGeometry(user_bytes=4097, page_bytes=4096, pages_per_block=64)
+        assert g.user_pages == 2
+
+    def test_pages_for(self):
+        g = SSDGeometry(user_bytes=2**20, page_bytes=4096, pages_per_block=64)
+        assert g.pages_for(1) == 1
+        assert g.pages_for(4096) == 1
+        assert g.pages_for(4097) == 2
+        with pytest.raises(ValueError):
+            g.pages_for(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(user_bytes=0),
+            dict(user_bytes=100, page_bytes=0),
+            dict(user_bytes=100, overprovision=1.0),
+            dict(user_bytes=100, pe_cycle_limit=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SSDGeometry(**kwargs)
+
+    def test_even_tiny_devices_get_spare_blocks(self):
+        # The +2 spare rule guarantees GC always has a destination block.
+        g = SSDGeometry(user_bytes=10, page_bytes=16384, pages_per_block=256)
+        assert g.n_blocks >= 3

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.io import load_trace
+
+
+BASE = ["--objects", "1500", "--days", "2", "--seed", "4"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["stats"],
+            ["simulate", "--policy", "arc"],
+            ["experiment", "--cost-v", "3"],
+            ["sweep", "--policy", "lirs"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv + BASE)
+        assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", *BASE]) == 0
+        out = capsys.readouterr().out
+        assert "one-time objects" in out
+
+    def test_stats_with_types(self, capsys):
+        assert main(["stats", "--types", *BASE]) == 0
+        assert "l5" in capsys.readouterr().out
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        assert main(["generate", str(path), *BASE]) == 0
+        trace = load_trace(path)
+        assert trace.n_objects == 1500
+        assert "saved" in capsys.readouterr().out
+
+    def test_simulate_from_saved_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        main(["generate", str(path), *BASE])
+        assert main(["simulate", "--trace", str(path), "--policy", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+
+    def test_simulate_all_policies(self, capsys):
+        for policy in ("lru", "fifo", "s3lru", "arc", "lirs", "belady", "lfu"):
+            assert main(["simulate", "--policy", policy, *BASE]) == 0
+        assert "hit rate" in capsys.readouterr().out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "--no-belady", *BASE]) == 0
+        out = capsys.readouterr().out
+        assert "proposal" in out and "classifier" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--policy", "lru", *BASE]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 11  # header + 10 capacities
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *BASE]) == 0
+        out = capsys.readouterr().out
+        assert "Zipf" in out and "reuse" in out and "stack profile" in out

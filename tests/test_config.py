@@ -1,0 +1,82 @@
+"""Tests for repro.config: latency constants and capacity scaling."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_LATENCY,
+    GiB,
+    PAPER_CAPACITIES_GB,
+    PAPER_TRACE_FOOTPRINT_GB,
+    LatencyConstants,
+    paper_capacity_fractions,
+    paper_equivalent_bytes,
+)
+
+
+class TestLatencyConstants:
+    def test_paper_defaults(self):
+        assert DEFAULT_LATENCY.t_query == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY.t_classify == pytest.approx(0.4e-6)
+        assert DEFAULT_LATENCY.t_hddr == pytest.approx(3e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyConstants(t_ssdr=-1e-6)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_LATENCY.t_query = 0.5
+
+
+class TestCapacityScaling:
+    def test_paper_axis(self):
+        assert PAPER_CAPACITIES_GB == (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+    def test_fractions_match_axis(self):
+        fracs = paper_capacity_fractions()
+        assert len(fracs) == 10
+        for gb, f in zip(PAPER_CAPACITIES_GB, fracs):
+            assert f == pytest.approx(gb / PAPER_TRACE_FOOTPRINT_GB)
+        assert all(0 < f < 1 for f in fracs)
+
+    def test_equivalent_bytes_roundtrip(self):
+        footprint = 10 * GiB
+        sc = paper_equivalent_bytes(0.01, footprint)
+        assert sc.bytes == int(0.01 * footprint)
+        assert sc.fraction_of_footprint == 0.01
+        assert sc.paper_gb == pytest.approx(0.01 * PAPER_TRACE_FOOTPRINT_GB)
+
+    def test_tiny_fraction_never_zero_bytes(self):
+        assert paper_equivalent_bytes(1e-12, 100).bytes >= 1
+
+    def test_str_mentions_both_scales(self):
+        s = str(paper_equivalent_bytes(0.01, 10 * GiB))
+        assert "GiB" in s and "paper scale" in s
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            paper_equivalent_bytes(0.0, 100)
+        with pytest.raises(ValueError):
+            paper_equivalent_bytes(0.1, 0)
+
+    def test_footprint_constant_plausible(self):
+        # ~14M objects × ~32 KB ≈ 427 GB.
+        assert 300 < PAPER_TRACE_FOOTPRINT_GB < 600
+
+
+class TestLazyPackageExports:
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.DEFAULT_LATENCY is DEFAULT_LATENCY
+        assert callable(repro.run_experiment)
+        assert callable(repro.generate_trace)
+        assert callable(repro.simulate)
+        assert callable(repro.make_policy)
+        assert repro.GridRunner.__name__ == "GridRunner"
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist

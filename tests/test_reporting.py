@@ -1,0 +1,100 @@
+"""Tests for the reporting module (tables + markdown report)."""
+
+import pytest
+
+from repro.core.pipeline import run_experiment
+from repro.reporting import (
+    experiment_section,
+    format_table,
+    markdown_report,
+    write_report,
+)
+from repro.trace import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=2000, days=2.0, seed=81))
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return run_experiment(
+        trace, policy="lru", capacity_fraction=0.02, rng=0
+    )
+
+
+class TestFormatTable:
+    def test_plain_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "1.500" in out
+
+    def test_markdown_structure(self):
+        out = format_table(["a", "b"], [[1, 2]], markdown=True)
+        lines = out.splitlines()
+        assert lines[0].startswith("| ")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".1f")
+        assert "0.1" in out and "0.12" not in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["h1", "h2"], [])
+        assert "h1" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestExperimentSection:
+    def test_contains_all_configs(self, result):
+        text = experiment_section(result)
+        for config in ("original", "proposal", "ideal", "belady"):
+            assert config in text
+        assert "criterion M" in text
+        assert "LRU" in text
+
+    def test_plain_mode(self, result):
+        text = experiment_section(result, markdown=False)
+        assert "###" not in text
+
+
+class TestMarkdownReport:
+    def test_full_report(self, trace, result):
+        report = markdown_report(trace, [result])
+        assert report.startswith("# One-time-access-exclusion report")
+        assert "## Workload" in report
+        assert "## Experiments" in report
+        assert "one-time object fraction" in report
+
+    def test_write_report(self, tmp_path, trace, result):
+        path = write_report(tmp_path / "r.md", trace, [result], title="T")
+        content = path.read_text()
+        assert content.startswith("# T")
+
+
+class TestReportCLI:
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                str(out),
+                "--objects", "1200",
+                "--days", "2",
+                "--seed", "4",
+                "--policies", "lru",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "## Experiments" in out.read_text()

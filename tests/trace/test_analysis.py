@@ -1,0 +1,122 @@
+"""Tests for the workload-analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.trace import WorkloadConfig, generate_trace
+from repro.trace.analysis import (
+    one_time_share_by_hour,
+    popularity_zipf_fit,
+    reuse_interval_stats,
+    stack_distance_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=8000, seed=71))
+
+
+class TestZipfFit:
+    def test_synthetic_workload_is_zipf_like(self, trace):
+        fit = popularity_zipf_fit(trace, min_rank=5)
+        assert fit.is_zipf_like
+        assert 0.3 < fit.exponent < 2.5
+        assert fit.top_1pct_share > 0.05
+
+    def test_r_squared_bounded(self, trace):
+        fit = popularity_zipf_fit(trace)
+        assert 0.0 <= fit.r_squared <= 1.0
+
+    def test_uniform_counts_not_zipf(self):
+        """A flat popularity distribution must not pass the Zipf test."""
+        tr = generate_trace(
+            WorkloadConfig(
+                n_objects=3000,
+                one_time_fraction=0.0,
+                extra_tail_alpha=50.0,  # nearly constant access counts
+                propensity_weight=0.1,
+                seed=5,
+            )
+        )
+        fit = popularity_zipf_fit(tr)
+        assert fit.exponent < 0.4
+
+    def test_too_small_rejected(self):
+        tiny = generate_trace(WorkloadConfig(n_objects=8, seed=0))
+        with pytest.raises(ValueError):
+            popularity_zipf_fit(tiny, min_rank=5)
+
+
+class TestStackDistanceProfile:
+    def test_matches_unit_size_lru_simulation(self, trace):
+        """The Mattson profile must equal an actual unit-size LRU run."""
+        caps = [50, 500, 3000]
+        profile = stack_distance_profile(trace, caps)
+        for cap, predicted in zip(caps, profile):
+            lru = LRUCache(cap)  # unit-size objects
+            hits = 0
+            for oid in trace.object_ids.tolist():
+                hits += lru.access(oid, 1).hit
+            assert hits / trace.n_accesses == pytest.approx(predicted, abs=1e-9)
+
+    def test_monotone_in_capacity(self, trace):
+        profile = stack_distance_profile(trace, [10, 100, 1000, 10_000])
+        assert (np.diff(profile) >= 0).all()
+
+    def test_cap_is_reuse_share(self, trace):
+        """With capacity ≥ #objects the profile hits the 1 − N/A cap."""
+        profile = stack_distance_profile(trace, [trace.n_objects + 1])
+        expected = 1.0 - trace.n_objects / trace.n_accesses
+        assert profile[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_invalid(self, trace):
+        with pytest.raises(ValueError):
+            stack_distance_profile(trace, [])
+        with pytest.raises(ValueError):
+            stack_distance_profile(trace, [0])
+
+
+class TestReuseIntervals:
+    def test_burst_locality(self, trace):
+        stats = reuse_interval_stats(trace)
+        assert stats.median_seconds > 0
+        assert stats.p90_seconds >= stats.median_seconds
+        # The generator's burst structure keeps most reuse within a day.
+        assert stats.within_day_fraction > 0.5
+        assert 0 <= stats.within_hour_fraction <= stats.within_day_fraction
+
+    def test_no_reuse_rejected(self):
+        tr = generate_trace(
+            WorkloadConfig(n_objects=300, mean_accesses=1.0,
+                           one_time_fraction=0.0, seed=1)
+        )
+        # mean_accesses=1.0 with one_time_fraction=0 still gives ≥2 per
+        # object... construct a genuinely reuse-free case instead:
+        from repro.trace.records import ACCESS_DTYPE, Trace
+
+        acc = np.zeros(5, dtype=ACCESS_DTYPE)
+        acc["timestamp"] = np.arange(5.0)
+        acc["object_id"] = np.arange(5)
+        single = Trace(
+            accesses=acc,
+            catalog=tr.catalog[:5].copy(),
+            owner_active_friends=tr.owner_active_friends,
+            owner_avg_views=tr.owner_avg_views,
+            duration=10.0,
+        )
+        with pytest.raises(ValueError):
+            reuse_interval_stats(single)
+
+
+class TestHourlyOneTimeShare:
+    def test_shape_and_range(self, trace):
+        share = one_time_share_by_hour(trace)
+        assert share.shape == (24,)
+        assert ((share >= 0) & (share <= 1)).all()
+
+    def test_morning_exceeds_evening(self, trace):
+        """§4.4.3's cycle: p high in the early morning, low in the evening."""
+        share = one_time_share_by_hour(trace)
+        assert share[4:10].mean() > share[18:23].mean()

@@ -1,0 +1,213 @@
+"""Tests for the synthetic workload generator and its calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import WorkloadConfig, compute_stats, generate_trace
+from repro.trace.popularity import DAY
+
+
+@pytest.fixture(scope="module")
+def medium_trace():
+    return generate_trace(WorkloadConfig(n_objects=30_000, seed=11))
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_objects": 1},
+            {"days": 0},
+            {"mean_accesses": 0.5},
+            {"one_time_fraction": 1.0},
+            {"extra_tail_alpha": 1.0},
+            {"cold_hour_flatness": 1.5},
+            {"mobile_base": 2.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+    def test_with_helper(self):
+        cfg = WorkloadConfig(n_objects=100)
+        cfg2 = cfg.with_(seed=5)
+        assert cfg2.seed == 5 and cfg2.n_objects == 100
+        assert cfg.seed is None  # original untouched
+
+
+class TestCalibration:
+    """The generator must reproduce the paper's published trace statistics."""
+
+    def test_one_time_object_fraction(self, medium_trace):
+        st_ = compute_stats(medium_trace)
+        assert st_.one_time_object_fraction == pytest.approx(0.615, abs=0.02)
+
+    def test_mean_accesses(self, medium_trace):
+        st_ = compute_stats(medium_trace)
+        assert st_.mean_accesses_per_object == pytest.approx(3.95, abs=0.1)
+
+    def test_hit_rate_cap_near_paper(self, medium_trace):
+        st_ = compute_stats(medium_trace)
+        assert st_.hit_rate_cap == pytest.approx(0.745, abs=0.02)
+
+    def test_every_object_accessed(self, medium_trace):
+        assert (medium_trace.access_counts() >= 1).all()
+
+    def test_diurnal_peak_in_evening(self, medium_trace):
+        # Burst starts peak at 20:00; request volume lags a couple of hours
+        # behind because burst offsets are strictly forward in time.
+        st_ = compute_stats(medium_trace)
+        assert 19 <= st_.diurnal_peak_hour <= 23
+
+    def test_one_time_share_peaks_early_morning(self, medium_trace):
+        """§4.4.3: p is highest around 05:00, lowest around 20:00."""
+        tr = medium_trace
+        counts = tr.access_counts()
+        one_time_access = counts[tr.object_ids] == 1
+        hours = ((tr.timestamps % DAY) / 3600.0).astype(int)
+        p_by_hour = np.array(
+            [
+                one_time_access[hours == h].mean() if (hours == h).any() else 0
+                for h in range(24)
+            ]
+        )
+        morning = p_by_hour[3:8].mean()
+        evening = p_by_hour[18:23].mean()
+        assert morning > evening
+
+    def test_request_shares_follow_fig3(self, medium_trace):
+        from repro.trace.stats import type_request_histogram
+
+        h = type_request_histogram(medium_trace)
+        assert max(h, key=h.get) == "l5"
+        assert h["l5"] > 0.35
+        # jpg of each resolution dominates its png sibling.
+        for res in "abcmol":
+            assert h[f"{res}5"] > h[f"{res}0"]
+
+    def test_popularity_is_heavy_tailed(self, medium_trace):
+        counts = np.sort(medium_trace.access_counts())[::-1]
+        top1 = counts[: len(counts) // 100].sum() / counts.sum()
+        assert top1 > 0.08  # top 1% of photos draw ≫1% of requests
+
+    def test_features_correlate_with_reaccess(self, medium_trace):
+        """Owner average views must be informative about cold/hot."""
+        tr = medium_trace
+        counts = tr.access_counts()
+        cold = counts == 1
+        views = tr.owner_avg_views[tr.catalog["owner_id"]]
+        assert views[~cold].mean() > 1.2 * views[cold].mean()
+
+
+class TestStructure:
+    def test_sorted_by_time(self, medium_trace):
+        assert (np.diff(medium_trace.timestamps) >= 0).all()
+
+    def test_times_within_duration(self, medium_trace):
+        assert medium_trace.timestamps.min() >= 0
+        assert medium_trace.timestamps.max() < medium_trace.duration
+
+    def test_terminal_values(self, medium_trace):
+        assert set(np.unique(medium_trace.accesses["terminal"])) <= {0, 1}
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(WorkloadConfig(n_objects=2000, seed=3))
+        b = generate_trace(WorkloadConfig(n_objects=2000, seed=3))
+        np.testing.assert_array_equal(a.accesses, b.accesses)
+        np.testing.assert_array_equal(a.catalog, b.catalog)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(WorkloadConfig(n_objects=2000, seed=3))
+        b = generate_trace(WorkloadConfig(n_objects=2000, seed=4))
+        assert not np.array_equal(a.accesses, b.accesses)
+
+    def test_sizes_positive(self, medium_trace):
+        assert medium_trace.catalog["size"].min() > 0
+
+    def test_slice_time(self, medium_trace):
+        day1 = medium_trace.slice_time(0.0, DAY)
+        assert day1.timestamps.max() < DAY
+        assert day1.n_accesses < medium_trace.n_accesses
+        with pytest.raises(ValueError):
+            medium_trace.slice_time(5.0, 5.0)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_small_configs_always_valid(self, seed):
+        tr = generate_trace(
+            WorkloadConfig(n_objects=50, mean_accesses=3.0, seed=seed)
+        )
+        assert tr.n_accesses >= 50
+        assert (np.diff(tr.timestamps) >= 0).all()
+
+    def test_viral_extension(self):
+        cfg = WorkloadConfig(
+            n_objects=4000, seed=8, viral_fraction=0.01, viral_boost=15.0
+        )
+        tr = generate_trace(cfg)
+        assert tr.viral_mask is not None
+        n_viral = int(tr.viral_mask.sum())
+        assert n_viral == pytest.approx(40, abs=5)
+        counts = tr.access_counts()
+        # Viral photos dwarf ordinary hot photos in access count.
+        ordinary_hot = (~tr.viral_mask) & (counts > 1)
+        assert counts[tr.viral_mask].mean() > 5 * counts[ordinary_hot].mean()
+        # And none of them is one-time.
+        assert (counts[tr.viral_mask] >= 2).all()
+
+    def test_viral_off_by_default(self, medium_trace):
+        assert medium_trace.viral_mask is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"viral_fraction": 1.0},
+            {"viral_boost": 0.5},
+            {"viral_onset_delay": -1.0},
+        ],
+    )
+    def test_viral_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+    def test_zero_one_time_fraction(self):
+        tr = generate_trace(
+            WorkloadConfig(n_objects=500, one_time_fraction=0.0, seed=0)
+        )
+        assert (tr.access_counts() >= 2).all()
+
+
+class TestTraceValidation:
+    def test_unsorted_accesses_rejected(self, medium_trace):
+        from repro.trace.records import Trace
+
+        bad = medium_trace.accesses.copy()
+        bad["timestamp"][0] = 1e12
+        with pytest.raises(ValueError):
+            Trace(
+                accesses=bad,
+                catalog=medium_trace.catalog,
+                owner_active_friends=medium_trace.owner_active_friends,
+                owner_avg_views=medium_trace.owner_avg_views,
+                duration=medium_trace.duration,
+            )
+
+    def test_object_id_out_of_range_rejected(self, medium_trace):
+        from repro.trace.records import Trace
+
+        bad = medium_trace.accesses.copy()
+        bad["object_id"][0] = medium_trace.n_objects + 10
+        with pytest.raises(ValueError):
+            Trace(
+                accesses=bad,
+                catalog=medium_trace.catalog,
+                owner_active_friends=medium_trace.owner_active_friends,
+                owner_avg_views=medium_trace.owner_avg_views,
+                duration=medium_trace.duration,
+            )
