@@ -1,0 +1,96 @@
+"""Serving-layer throughput: loadgen vs. cache node over localhost TCP.
+
+Measures the asyncio node end to end — framing, sequencing, micro-batched
+inference, cache access — under open-loop load, with and without the
+classifier, reporting achieved requests/s and latency percentiles.  The
+classifier's serving overhead is the Eq.-6 question asked of the *whole
+service* rather than the bare decision path (``bench_tclassify``).
+
+Scale: ``REPRO_BENCH_SERVER_REQUESTS`` trace requests (default 30 000),
+offered at ``REPRO_BENCH_SERVER_RATE`` req/s (default 50 000 — beyond
+capacity, so the achieved rate *is* the node's throughput).
+"""
+
+import asyncio
+import os
+
+from common import emit
+
+from repro.server.loadgen import LoadgenConfig, run_loadgen
+from repro.server.node import CacheNode, CacheNodeServer, NodeConfig
+
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQUESTS", "30000"))
+RATE = float(os.environ.get("REPRO_BENCH_SERVER_RATE", "50000"))
+CONNECTIONS = 8
+
+
+async def _serve_and_replay(trace, classifier: bool):
+    node = CacheNode(
+        trace, NodeConfig(capacity_fraction=0.02, classifier=classifier)
+    )
+    server = CacheNodeServer(node, port=0, queue_depth=4096)
+    await server.start()
+    try:
+        result = await run_loadgen(
+            trace,
+            LoadgenConfig(
+                port=server.port,
+                rate=RATE,
+                connections=CONNECTIONS,
+                limit=REQUESTS,
+            ),
+        )
+    finally:
+        await server.shutdown()
+    return node, result
+
+
+def _row(label, result):
+    lat = result.latency
+    s = result.server_stats
+    return (
+        f"{label:14s} {result.achieved_rate:10,.0f} "
+        f"{1e3 * lat['p50']:8.2f} {1e3 * lat['p99']:8.2f} "
+        f"{s['hit_rate']:8.3f} {s['files_written']:10,d} "
+        f"{result.errors:7d}"
+    )
+
+
+def bench_server_throughput(benchmark, trace, capsys):
+    def run():
+        baseline = asyncio.run(_serve_and_replay(trace, classifier=False))
+        classified = asyncio.run(_serve_and_replay(trace, classifier=True))
+        return baseline, classified
+
+    (_, bres), (_, cres) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert bres.errors == 0 and cres.errors == 0
+    n_replayed = min(REQUESTS, trace.n_accesses)
+    header = (
+        f"{'config':14s} {'req/s':>10s} {'p50 ms':>8s} {'p99 ms':>8s} "
+        f"{'hit':>8s} {'writes':>10s} {'errors':>7s}"
+    )
+    overhead = (
+        1.0 - cres.achieved_rate / bres.achieved_rate
+        if bres.achieved_rate
+        else 0.0
+    )
+    write_cut = (
+        1.0 - cres.server_stats["files_written"] / bres.server_stats["files_written"]
+        if bres.server_stats["files_written"]
+        else 0.0
+    )
+    t = cres.server_stats["t_classify"]
+    lines = [
+        "serving throughput — open-loop trace replay over localhost TCP",
+        f"requests={n_replayed:,} offered={RATE:,.0f}/s "
+        f"connections={CONNECTIONS}",
+        header,
+        _row("always-admit", bres),
+        _row("classified", cres),
+        f"classifier throughput overhead : {100 * overhead:+.1f}%",
+        f"SSD write reduction            : {100 * write_cut:.1f}%",
+        f"amortised t_classify           : {1e6 * t['mean']:.2f} µs mean, "
+        f"{1e6 * t['p99']:.2f} µs p99 (micro-batched)",
+    ]
+    emit(capsys, "server_throughput", "\n".join(lines))

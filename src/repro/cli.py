@@ -7,9 +7,13 @@ Subcommands
 ``simulate``    replay a trace through one policy/capacity
 ``experiment``  full Original/Proposal/Ideal/Belady comparison
 ``sweep``       capacity sweep for one policy (Fig.-2/6 style rows)
+``serve``       run the asyncio cache-node service on a trace
+``loadgen``     open-loop trace replay against a running ``serve`` node
 
 All commands accept either ``--trace file.npz`` or generator parameters
-(``--objects``, ``--days``, ``--seed``).
+(``--objects``, ``--days``, ``--seed``).  ``serve`` and ``loadgen`` must be
+given the *same* trace (file or generator parameters) — the load generator
+replays trace positions and the server validates them against its catalog.
 """
 
 from __future__ import annotations
@@ -84,6 +88,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="output markdown path")
     p.add_argument("--policies", nargs="+", default=["lru", "fifo"])
     p.add_argument("--capacity-fraction", type=float, default=0.01)
+
+    p = sub.add_parser("serve", help="run the asyncio cache-node service")
+    _add_trace_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642, help="0 picks a free port")
+    p.add_argument("--policy", default="lru")
+    p.add_argument("--capacity-fraction", type=float, default=0.01)
+    p.add_argument("--dram-fraction", type=float, default=0.05,
+                   help="DRAM tier as a fraction of SSD capacity; 0 disables")
+    p.add_argument("--no-classifier", action="store_true",
+                   help="admit every miss (the paper's Original baseline)")
+    p.add_argument("--cost-v", type=float, default=2.0)
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="max requests per micro-batched inference call")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="bounded request queue (backpressure threshold)")
+    p.add_argument("--retrain-period", type=float, default=0.0,
+                   help="trace seconds between retrains; 0 disables the "
+                        "background retrainer (RELOAD still unavailable)")
+    p.add_argument("--retrain-hour", type=float, default=5.0)
+
+    p = sub.add_parser("loadgen", help="open-loop replay against a serve node")
+    _add_trace_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="offered load, requests/second")
+    p.add_argument("--connections", type=int, default=4)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--limit", type=int, default=None,
+                   help="replay only the first LIMIT positions from --start")
 
     return parser
 
@@ -195,6 +230,79 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server.metrics import format_metrics, metrics_snapshot
+    from repro.server.node import CacheNode, NodeConfig, run_server
+    from repro.server.retrainer import Retrainer, RetrainerConfig
+
+    trace = _resolve_trace(args)
+    node = CacheNode(
+        trace,
+        NodeConfig(
+            policy=args.policy,
+            capacity_fraction=args.capacity_fraction,
+            dram_fraction=args.dram_fraction,
+            classifier=not args.no_classifier,
+            cost_v=args.cost_v,
+            seed=args.seed,
+            max_batch=args.max_batch,
+        ),
+    )
+    retrainer = None
+    if args.retrain_period > 0 and node.model is not None:
+        retrainer = Retrainer(
+            node,
+            RetrainerConfig(
+                period=args.retrain_period, retrain_hour=args.retrain_hour
+            ),
+        )
+
+    async def _main() -> None:
+        server = await run_server(
+            node,
+            args.host,
+            args.port,
+            queue_depth=args.queue_depth,
+            retrainer=retrainer,
+        )
+        print(format_metrics(metrics_snapshot(node, server)))
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # windows-style ^C without signal handlers
+        pass
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.server.loadgen import LoadgenConfig, run_loadgen
+    from repro.server.metrics import format_metrics
+
+    trace = _resolve_trace(args)
+    result = asyncio.run(
+        run_loadgen(
+            trace,
+            LoadgenConfig(
+                host=args.host,
+                port=args.port,
+                rate=args.rate,
+                connections=args.connections,
+                start=args.start,
+                limit=args.limit,
+            ),
+        )
+    )
+    print(result.summary())
+    if result.server_stats is not None:
+        print("\nserver STATS snapshot:")
+        print(format_metrics(result.server_stats))
+    return 0 if result.errors == 0 else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
@@ -203,6 +311,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

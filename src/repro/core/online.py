@@ -163,6 +163,11 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         self.rectified_admits = 0
         self.decisions = 0
         self.decision_seconds = 0.0
+        #: Monotonic (``time.perf_counter``) duration of every individual
+        #: decision, in trace order — the raw array behind the Eq.-6
+        #: ``t_classify`` percentiles in the serving metrics snapshot
+        #: (:func:`repro.server.metrics.admission_timing`).
+        self.decision_times: list[float] = []
 
     @property
     def mean_decision_seconds(self) -> float:
@@ -173,7 +178,9 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         t0 = time.perf_counter()
         x = self.tracker.features(index)
         verdict = self.model.predict(x.reshape(1, -1))[0]
-        self.decision_seconds += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.decision_seconds += elapsed
+        self.decision_times.append(elapsed)
         self.decisions += 1
         self.tracker.observe(index)
 
@@ -196,3 +203,4 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         self.rectified_admits = 0
         self.decisions = 0
         self.decision_seconds = 0.0
+        self.decision_times.clear()

@@ -1,0 +1,234 @@
+"""Open-loop trace-replay load generator for the cache-node service.
+
+Replays a :class:`~repro.trace.records.Trace` against a running
+:class:`~repro.server.node.CacheNodeServer` at a target request rate.
+*Open loop* means send times come from a fixed schedule, not from response
+arrival — the standard methodology for latency measurement under load
+(closed-loop clients hide queueing delay by self-throttling).
+
+Mechanics
+---------
+* Trace positions are partitioned round-robin over ``connections`` TCP
+  connections; the server's sequencer reassembles global trace order, so
+  multi-connection replay exercises exactly the concurrency the node's
+  single-writer design must absorb.
+* Each connection runs an independent *sender* (fires at scheduled times,
+  pipelining without waiting for replies) and *reader* (correlates
+  responses by echoed ``index`` and records client-observed latency).
+* After the replay, one extra connection fetches the server's STATS
+  snapshot so the client report and the server's own counters travel
+  together.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.server.metrics import timing_stats
+from repro.server.protocol import ProtocolError, read_message, write_message
+from repro.trace.records import Trace
+
+__all__ = ["LoadgenConfig", "LoadgenResult", "run_loadgen", "replay"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    rate: float = 2000.0        # requests/second (open-loop schedule)
+    connections: int = 4
+    start: int = 0              # first trace position to replay
+    limit: int | None = None    # positions replayed: [start, start+limit)
+    fetch_stats: bool = True
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.connections < 1:
+            raise ValueError("connections must be >= 1")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1")
+
+
+@dataclass
+class LoadgenResult:
+    """Client-side view of one replay, plus the server's STATS snapshot."""
+
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    hits: int = 0
+    duration_seconds: float = 0.0
+    target_rate: float = 0.0
+    latency: dict = field(default_factory=dict)
+    server_stats: dict | None = None
+
+    @property
+    def achieved_rate(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.completed if self.completed else 0.0
+
+    def summary(self) -> str:
+        lat = self.latency or timing_stats([])
+        lines = [
+            f"sent {self.sent:,} requests, {self.completed:,} completed, "
+            f"{self.errors:,} errors in {self.duration_seconds:.2f} s",
+            f"throughput: {self.achieved_rate:,.0f} req/s achieved "
+            f"({self.target_rate:,.0f} req/s offered)",
+            f"client hit rate: {self.hit_rate:.4f}",
+            f"latency: p50 {1e3 * lat['p50']:.3f} ms  "
+            f"p95 {1e3 * lat['p95']:.3f} ms  "
+            f"p99 {1e3 * lat['p99']:.3f} ms  "
+            f"max {1e3 * lat['max']:.3f} ms",
+        ]
+        if self.server_stats is not None:
+            s = self.server_stats
+            lines.append(
+                f"server: hit rate {s['hit_rate']:.4f}, "
+                f"{s['files_written']:,} SSD writes, "
+                f"model v{s['model_version']}"
+            )
+        return "\n".join(lines)
+
+
+async def _replay_connection(
+    cfg: LoadgenConfig,
+    trace: Trace,
+    positions: np.ndarray,
+    send_times: np.ndarray,
+    t0: float,
+    result: LoadgenResult,
+    latencies: list[float],
+) -> None:
+    reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
+    oids = trace.object_ids
+    sizes = trace.sizes
+    in_flight: dict[int, float] = {}
+    expected = positions.shape[0]
+
+    async def read_responses() -> None:
+        done = 0
+        try:
+            while done < expected:
+                msg = await read_message(reader)
+                if msg is None:
+                    break
+                if msg.get("op") != "GET":
+                    continue
+                done += 1
+                sent_at = in_flight.pop(msg.get("index"), None)
+                if not msg.get("ok"):
+                    result.errors += 1
+                    continue
+                result.completed += 1
+                if msg.get("hit"):
+                    result.hits += 1
+                if sent_at is not None:
+                    latencies.append(time.perf_counter() - sent_at)
+        except (ConnectionError, OSError, ProtocolError):
+            pass  # server went away mid-stream
+        # Anything never answered (server death, early close) is an error.
+        result.errors += expected - done
+
+    reader_task = asyncio.ensure_future(read_responses())
+    try:
+        loop = asyncio.get_running_loop()
+        try:
+            for pos, due in zip(positions.tolist(), send_times.tolist()):
+                delay = t0 + due - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                in_flight[pos] = time.perf_counter()
+                result.sent += 1
+                await write_message(
+                    writer,
+                    {
+                        "op": "GET",
+                        "index": pos,
+                        "oid": int(oids[pos]),
+                        "size": int(sizes[pos]),
+                    },
+                )
+        except (ConnectionError, OSError):
+            pass  # server gone; the reader accounts for the shortfall
+        await reader_task
+    finally:
+        if not reader_task.done():
+            reader_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def fetch_stats(host: str, port: int) -> dict:
+    """One-shot STATS request on a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_message(writer, {"op": "STATS"})
+        msg = await read_message(reader)
+        if msg is None or not msg.get("ok"):
+            raise ConnectionError(f"STATS failed: {msg!r}")
+        return msg["stats"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_loadgen(trace: Trace, cfg: LoadgenConfig) -> LoadgenResult:
+    """Replay ``trace`` positions ``[start, start+limit)`` open-loop."""
+    n = trace.n_accesses - cfg.start
+    if cfg.limit is not None:
+        n = min(n, cfg.limit)
+    if n <= 0:
+        raise ValueError("nothing to replay: start beyond trace end")
+    positions = np.arange(cfg.start, cfg.start + n)
+    send_times = np.arange(n) / cfg.rate  # open-loop schedule, uniform rate
+
+    result = LoadgenResult(target_rate=cfg.rate)
+    latencies: list[float] = []
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    t_wall = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _replay_connection(
+                cfg,
+                trace,
+                positions[c :: cfg.connections],
+                send_times[c :: cfg.connections],
+                t0,
+                result,
+                latencies,
+            )
+            for c in range(cfg.connections)
+        )
+    )
+    result.duration_seconds = time.perf_counter() - t_wall
+    result.latency = timing_stats(latencies)
+    if cfg.fetch_stats:
+        try:
+            result.server_stats = await fetch_stats(cfg.host, cfg.port)
+        except (ConnectionError, OSError):
+            result.server_stats = None  # server already gone
+    return result
+
+
+def replay(trace: Trace, **kwargs) -> LoadgenResult:
+    """Synchronous convenience wrapper: ``replay(trace, port=..., rate=...)``."""
+    return asyncio.run(run_loadgen(trace, LoadgenConfig(**kwargs)))

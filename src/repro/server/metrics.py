@@ -1,0 +1,145 @@
+"""STATS snapshots for the serving node.
+
+:func:`metrics_snapshot` collapses the node's counters — cache statistics,
+admission verdicts, micro-batched ``t_classify`` timing, service latency —
+into one JSON-able dict (the STATS response body);
+:func:`format_metrics` renders it as an aligned table through
+:func:`repro.reporting.format_table`, so served numbers read exactly like
+the offline reports.
+
+Timing arrays are summarised as ``{count, mean, p50, p95, p99, max}`` in
+seconds via :func:`timing_stats` — the same helper works for the node's
+amortised batch timings and for
+:attr:`repro.core.online.OnlineClassifierAdmission.decision_times`
+(:func:`admission_timing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting import format_table
+
+__all__ = [
+    "timing_stats",
+    "admission_timing",
+    "metrics_snapshot",
+    "format_metrics",
+]
+
+_EMPTY = {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
+def timing_stats(seconds) -> dict:
+    """Count/mean/percentiles (seconds) of a per-event timing array."""
+    arr = np.asarray(seconds, dtype=np.float64)
+    if arr.size == 0:
+        return dict(_EMPTY)
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(arr.max()),
+    }
+
+
+def admission_timing(admission) -> dict:
+    """Per-decision timing of an :class:`OnlineClassifierAdmission`."""
+    return timing_stats(admission.decision_times)
+
+
+def metrics_snapshot(node, server=None) -> dict:
+    """One coherent view of a node's counters (plus serving-layer state).
+
+    Safe to call from the event loop at any time: every value is read from
+    single-writer state between micro-batches.
+    """
+    import time
+
+    stats = node.stats
+    snap = {
+        "processed": node.processed,
+        "trace_requests": node.trace.n_accesses,
+        "trace_clock": node.trace_clock,
+        "requests": stats.requests,
+        "hits": stats.hits,
+        "hit_rate": stats.hit_rate,
+        "byte_hit_rate": stats.byte_hit_rate,
+        "files_written": stats.files_written,
+        "bytes_written": stats.bytes_written,
+        "file_write_rate": stats.file_write_rate,
+        "byte_write_rate": stats.byte_write_rate,
+        "evictions": stats.evictions,
+        "admissions_denied": stats.admissions_denied,
+        "rectified_admits": node.rectified_admits,
+        "classifier": node.model is not None,
+        "model_version": node.model_version,
+        "t_classify": timing_stats(node.classify_times()),
+    }
+    cache = node.cache
+    if hasattr(cache, "l1_hits"):
+        snap["l1_hits"] = cache.l1_hits
+        snap["l2_hits"] = cache.l2_hits
+    if server is not None:
+        snap["uptime_seconds"] = (
+            time.perf_counter() - server.started_at if server.started_at else 0.0
+        )
+        snap["queue_depth"] = server.queue_depth
+        snap["service_latency"] = timing_stats(server.service_latencies)
+        if server.retrainer is not None:
+            snap["retrains"] = server.retrainer.retrains
+            if server.retrainer.history:
+                last = server.retrainer.history[-1]
+                snap["worst_window_accuracy"] = last["worst_window_accuracy"]
+    return snap
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1e-3:
+        return f"{1e3 * s:.3f} ms"
+    return f"{1e6 * s:.2f} µs"
+
+
+def format_metrics(snap: dict) -> str:
+    """Render a snapshot as the aligned table printed on shutdown/STATS."""
+    rows = [
+        ["requests served", f"{snap['requests']:,}"],
+        ["file hit rate", f"{snap['hit_rate']:.4f}"],
+        ["byte hit rate", f"{snap['byte_hit_rate']:.4f}"],
+        ["files written (SSD)", f"{snap['files_written']:,}"],
+        ["bytes written (SSD)", f"{snap['bytes_written']:,}"],
+        ["file write rate", f"{snap['file_write_rate']:.4f}"],
+        ["byte write rate", f"{snap['byte_write_rate']:.4f}"],
+        ["admissions denied", f"{snap['admissions_denied']:,}"],
+        ["rectified admits", f"{snap['rectified_admits']:,}"],
+        ["classifier", "on" if snap["classifier"] else "off"],
+        ["model version", str(snap["model_version"])],
+    ]
+    if "l1_hits" in snap:
+        rows.append(["DRAM (L1) hits", f"{snap['l1_hits']:,}"])
+        rows.append(["SSD (L2) hits", f"{snap['l2_hits']:,}"])
+    t = snap["t_classify"]
+    if t["count"]:
+        rows.append(
+            [
+                "t_classify (mean/p99)",
+                f"{_fmt_seconds(t['mean'])} / {_fmt_seconds(t['p99'])}",
+            ]
+        )
+    lat = snap.get("service_latency")
+    if lat and lat["count"]:
+        rows.append(
+            [
+                "service latency (p50/p95/p99)",
+                f"{_fmt_seconds(lat['p50'])} / {_fmt_seconds(lat['p95'])} / "
+                f"{_fmt_seconds(lat['p99'])}",
+            ]
+        )
+    if "retrains" in snap:
+        rows.append(["retrains", str(snap["retrains"])])
+    if "uptime_seconds" in snap:
+        rows.append(["uptime", f"{snap['uptime_seconds']:.2f} s"])
+    return format_table(["quantity", "value"], rows)

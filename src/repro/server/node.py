@@ -1,0 +1,678 @@
+"""The asyncio cache-node service: a runnable single-server deployment.
+
+Two layers, deliberately separated:
+
+* :class:`CacheNode` — a *synchronous* state machine owning all cache
+  state (DRAM+SSD hierarchy, online feature tracker, classifier, history
+  table, statistics).  Its only mutation entry point is
+  :meth:`CacheNode.process_batch`, which replays a contiguous run of
+  trace positions exactly as :func:`repro.cache.simulator.simulate`
+  would — so a served replay is bit-identical to the offline simulation
+  (:func:`replay_offline` builds the reference stack; the equivalence is
+  tested).
+* :class:`CacheNodeServer` — the asyncio TCP front end.  Connection
+  handlers parse frames and enqueue requests into one bounded queue
+  (backpressure: a full queue suspends the handler, which stops reading
+  its socket); a **single writer task** drains the queue, sequences
+  requests by trace index, and applies them in micro-batches.  Because
+  every cache mutation flows through that one task, no locking is needed
+  and concurrent clients cannot interleave partial updates.
+
+Micro-batching: classifier features depend only on the *request stream*
+(never on cache state), so the writer computes feature rows for a whole
+batch, runs **one** vectorised ``model.predict`` call, and only then
+applies verdicts + history-table rectification + cache accesses in strict
+trace order.  Admission semantics are unchanged — the verdict for a
+request that turns out to hit is simply discarded, exactly as the offline
+path never computes it.
+
+The model reference is read **once per batch**, so
+:meth:`CacheNode.install_model` (the retrainer's atomic swap) can never
+split a batch across two models.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.base import CachePolicy, CacheStats
+from repro.cache.hierarchy import HierarchicalCache
+from repro.cache.simulator import SimulationResult, make_policy, simulate
+from repro.core.admission import AlwaysAdmit
+from repro.core.criteria import Criteria, solve_criteria
+from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import ONE_TIME, one_time_labels, reaccess_distances
+from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
+from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.server.protocol import (
+    ProtocolError,
+    encode_message,
+    error_response,
+    read_message,
+)
+from repro.trace.records import Trace
+
+__all__ = [
+    "NodeConfig",
+    "CacheNode",
+    "CacheNodeServer",
+    "build_cache",
+    "solve_node_criteria",
+    "train_seed_model",
+    "replay_offline",
+    "run_server",
+]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything needed to build one cache node deterministically.
+
+    The same config drives both the live server (:class:`CacheNode`) and
+    the offline reference run (:func:`replay_offline`); determinism of the
+    seed model (``seed``) is what makes served results reproducible.
+    """
+
+    policy: str = "lru"
+    capacity_fraction: float | None = 0.01
+    capacity_bytes: int | None = None
+    dram_fraction: float = 0.05     # 0 disables the DRAM tier
+    classifier: bool = True
+    cost_v: float = 2.0
+    train_seconds: float = 86400.0  # seed model trains on this trace prefix
+    max_splits: int = 30
+    min_train_samples: int = 50
+    seed: int = 0
+    max_batch: int = 256
+
+    def resolve_capacity(self, trace: Trace) -> int:
+        if (self.capacity_fraction is None) == (self.capacity_bytes is None):
+            raise ValueError(
+                "give exactly one of capacity_fraction / capacity_bytes"
+            )
+        if self.capacity_bytes is not None:
+            if self.capacity_bytes <= 0:
+                raise ValueError("capacity_bytes must be positive")
+            return int(self.capacity_bytes)
+        if self.capacity_fraction <= 0:
+            raise ValueError("capacity_fraction must be positive")
+        return max(1, int(self.capacity_fraction * trace.footprint_bytes))
+
+
+def build_cache(trace: Trace, cfg: NodeConfig) -> CachePolicy:
+    """The node's cache stack: SSD-tier policy, optionally DRAM-fronted."""
+    ssd = make_policy(cfg.policy, cfg.resolve_capacity(trace), trace)
+    if cfg.dram_fraction <= 0:
+        return ssd
+    return HierarchicalCache.with_lru_dram(ssd, dram_fraction=cfg.dram_fraction)
+
+
+def solve_node_criteria(trace: Trace, cfg: NodeConfig) -> Criteria:
+    """The §4.3 criterion ``M`` for this node's capacity."""
+    distances = reaccess_distances(trace.object_ids)
+    return solve_criteria(
+        distances, cfg.resolve_capacity(trace), trace.mean_object_size()
+    )
+
+
+def history_capacity(criteria: Criteria) -> int:
+    """§4.4.2 sizing with a small floor for tiny test workloads."""
+    return max(
+        8,
+        HistoryTable.paper_capacity(
+            criteria.m_threshold, criteria.hit_rate, criteria.one_time_share
+        ),
+    )
+
+
+def train_seed_model(trace: Trace, cfg: NodeConfig, criteria: Criteria):
+    """Bootstrap classifier: cost-sensitive CART on the first trace day.
+
+    Mirrors how a deployment starts — a model trained offline on
+    yesterday's log before the node goes live (the retrainer then takes
+    over the §4.4.3 daily refresh).  Returns ``None`` when the prefix is
+    too small or single-class; the node then admits everything.
+    """
+    labels = one_time_labels(trace.object_ids, criteria.m_threshold)
+    mask = trace.timestamps < cfg.train_seconds
+    if int(mask.sum()) < cfg.min_train_samples:
+        return None
+    y = labels[mask]
+    if np.unique(y).shape[0] < 2:
+        return None
+    fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+    model = CostSensitiveClassifier(
+        DecisionTreeClassifier(max_splits=cfg.max_splits, rng=cfg.seed),
+        CostMatrix(fn_cost=1.0, fp_cost=cfg.cost_v),
+    )
+    return model.fit(fm.X[mask], y)
+
+
+def replay_offline(trace: Trace, cfg: NodeConfig, *, model=None) -> SimulationResult:
+    """The offline reference: ``simulate()`` over the identical stack.
+
+    Builds the same cache, criterion, seed model (unless one is passed in)
+    and history table as :class:`CacheNode` and replays through the
+    simulator's per-request admission path.  A server that replays the
+    same trace (without retraining) must report the same hit/write
+    counters — the acceptance test for the serving layer.
+    """
+    cache = build_cache(trace, cfg)
+    if not cfg.classifier:
+        return simulate(
+            trace, cache, admission=AlwaysAdmit(), policy_name=cfg.policy
+        )
+    criteria = solve_node_criteria(trace, cfg)
+    if model is None:
+        model = train_seed_model(trace, cfg, criteria)
+    if model is None:
+        return simulate(
+            trace, cache, admission=AlwaysAdmit(), policy_name=cfg.policy
+        )
+    admission = OnlineClassifierAdmission(
+        model,
+        OnlineFeatureTracker(trace),
+        criteria.m_threshold,
+        HistoryTable(history_capacity(criteria)),
+    )
+    return simulate(trace, cache, admission=admission, policy_name=cfg.policy)
+
+
+class CacheNode:
+    """Single-writer cache-node state machine over a loaded trace.
+
+    All mutation goes through :meth:`process_batch` with a *contiguous*
+    ascending run of trace positions starting at :attr:`processed` — the
+    serving layer's sequencer guarantees that even when concurrent
+    connections deliver requests out of order.
+    """
+
+    def __init__(self, trace: Trace, cfg: NodeConfig | None = None):
+        self.trace = trace
+        self.cfg = cfg if cfg is not None else NodeConfig()
+        self._oid_list = trace.object_ids.tolist()
+        self._size_list = trace.catalog["size"][trace.object_ids].tolist()
+        self._ts = trace.timestamps
+
+        self.criteria: Criteria | None = None
+        self.model = None
+        self.model_version = 0
+        self.tracker: OnlineFeatureTracker | None = None
+        self.history: HistoryTable | None = None
+        if self.cfg.classifier:
+            self.criteria = solve_node_criteria(trace, self.cfg)
+            self.model = train_seed_model(trace, self.cfg, self.criteria)
+            if self.model is not None:
+                self.model_version = 1
+                self.tracker = OnlineFeatureTracker(trace)
+                self.history = HistoryTable(history_capacity(self.criteria))
+
+        self.cache = build_cache(trace, self.cfg)
+        self.stats = CacheStats()
+        self.processed = 0
+        self.denied_mask = np.zeros(trace.n_accesses, dtype=bool)
+        # Micro-batched t_classify telemetry: one (size, seconds) pair per
+        # inference batch; per-decision times are the amortised quotients.
+        self._classify_batch_sizes: list[int] = []
+        self._classify_batch_seconds: list[float] = []
+
+    # ------------------------------------------------------------ telemetry
+
+    @property
+    def trace_clock(self) -> float:
+        """Trace time of the last processed request (0 before the first)."""
+        return float(self._ts[self.processed - 1]) if self.processed else 0.0
+
+    @property
+    def rectified_admits(self) -> int:
+        return self.history.rectifications if self.history is not None else 0
+
+    def expected_oid(self, index: int) -> int:
+        """The object id the loaded trace holds at ``index`` (validation)."""
+        return self._oid_list[index]
+
+    def classify_times(self) -> np.ndarray:
+        """Amortised per-decision classification seconds, one per request.
+
+        Each micro-batch contributes ``size`` equal entries of
+        ``seconds / size`` — the per-decision cost actually paid under
+        batched inference (the served analogue of
+        :attr:`repro.core.online.OnlineClassifierAdmission.decision_times`).
+        """
+        if not self._classify_batch_sizes:
+            return np.empty(0)
+        sizes = np.asarray(self._classify_batch_sizes)
+        secs = np.asarray(self._classify_batch_seconds)
+        return np.repeat(secs / sizes, sizes)
+
+    # ------------------------------------------------------------- mutation
+
+    def install_model(self, model) -> int:
+        """Atomically swap the admission classifier; returns the version.
+
+        A plain attribute assignment: the processing loop binds the model
+        reference once per batch, so a swap takes effect at the next batch
+        boundary and can never split a batch.
+        """
+        self.model = model
+        self.model_version += 1
+        return self.model_version
+
+    def reset(self) -> None:
+        """Fresh cache/statistics state; the trained model is kept."""
+        self.cache = build_cache(self.trace, self.cfg)
+        self.stats = CacheStats()
+        self.processed = 0
+        self.denied_mask[:] = False
+        self._classify_batch_sizes.clear()
+        self._classify_batch_seconds.clear()
+        if self.tracker is not None:
+            self.tracker.reset()
+        if self.history is not None:
+            self.history.clear()
+
+    def process_batch(self, indices: list[int]) -> list[dict]:
+        """Apply a contiguous run of trace requests; returns GET responses.
+
+        Semantics per request are identical to the simulator loop with
+        :class:`~repro.core.online.OnlineClassifierAdmission`; only the
+        *timing* of classifier inference differs (one vectorised call per
+        batch instead of one per miss).
+        """
+        n = len(indices)
+        if n == 0:
+            return []
+        if indices[0] != self.processed or indices[-1] != self.processed + n - 1:
+            raise ValueError(
+                f"batch [{indices[0]}, {indices[-1]}] is not the contiguous "
+                f"run starting at {self.processed}"
+            )
+
+        model = self.model  # single read: the retrainer swap point
+        tracker = self.tracker
+        verdicts = None
+        if model is not None and tracker is not None:
+            t0 = time.perf_counter()
+            rows = np.empty((n, len(tracker.feature_names)))
+            for row, i in enumerate(indices):
+                rows[row] = tracker.features(i)
+                tracker.observe(i)
+            verdicts = model.predict(rows)
+            self._classify_batch_seconds.append(time.perf_counter() - t0)
+            self._classify_batch_sizes.append(n)
+
+        cache = self.cache
+        access = cache.access
+        history = self.history
+        stats_record = self.stats.record
+        m_threshold = self.criteria.m_threshold if self.criteria else 0.0
+        oid_list, size_list = self._oid_list, self._size_list
+        out = []
+        for row, i in enumerate(indices):
+            oid = oid_list[i]
+            size = size_list[i]
+            if oid in cache:
+                result = access(oid, size)
+                denied = False
+            else:
+                if verdicts is None or verdicts[row] != ONE_TIME:
+                    admit = True
+                elif history.rectify(oid, i, m_threshold):
+                    admit = True
+                else:
+                    history.record(oid, i)
+                    admit = False
+                result = access(oid, size, admit=admit)
+                denied = not admit
+            stats_record(size, result, denied)
+            if denied:
+                self.denied_mask[i] = True
+            out.append(
+                {
+                    "ok": True,
+                    "op": "GET",
+                    "index": i,
+                    "hit": result.hit,
+                    "admitted": result.inserted,
+                    "denied": denied,
+                }
+            )
+        self.processed += n
+        return out
+
+
+# --------------------------------------------------------------------------
+# Serving layer
+# --------------------------------------------------------------------------
+
+_SHUTDOWN = object()
+
+#: Service-latency samples retained for the STATS percentiles.
+_LATENCY_WINDOW = 200_000
+
+
+@dataclass
+class _Request:
+    index: int
+    conn: "_Connection"
+    t_enqueue: float
+
+
+class _Connection:
+    """One client connection with an ordered, decoupled outbound path.
+
+    Responses are queued and written by a dedicated task so the node's
+    writer loop never blocks on a slow client's socket.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self._outbound: asyncio.Queue = asyncio.Queue()
+        self._task = asyncio.ensure_future(self._run())
+        self._closed = False
+
+    def send(self, message: dict) -> None:
+        if not self._closed:
+            self._outbound.put_nowait(message)
+
+    async def _run(self) -> None:
+        writer = self._writer
+        try:
+            while True:
+                message = await self._outbound.get()
+                if message is _SHUTDOWN:
+                    break
+                writer.write(encode_message(message))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._closed = True
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._outbound.put_nowait(_SHUTDOWN)
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._task
+
+
+class CacheNodeServer:
+    """Asyncio TCP server around one :class:`CacheNode`.
+
+    * bounded request queue (``queue_depth``) — a full queue suspends the
+      connection handler, i.e. TCP backpressure;
+    * single writer task — sequences GETs by trace index and applies them
+      in micro-batches of at most ``cfg.max_batch``;
+    * graceful drain — :meth:`shutdown` (also wired to SIGTERM/SIGINT by
+      :func:`run_server`) stops accepting work, processes everything
+      already accepted, answers the stragglers with an error, then closes.
+    """
+
+    def __init__(
+        self,
+        node: CacheNode,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_depth: int = 1024,
+        retrainer=None,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.node = node
+        self.host = host
+        self.port = port
+        self.retrainer = retrainer
+        self._queue: asyncio.Queue = asyncio.Queue(queue_depth)
+        self._pending: dict[int, _Request] = {}
+        self._connections: set[_Connection] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._retrain_task: asyncio.Task | None = None
+        self._draining = False
+        self._closed = asyncio.Event()
+        self.started_at = 0.0
+        self.service_latencies: list[float] = []
+
+    # -------------------------------------------------------------- control
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.perf_counter()
+        self._writer_task = asyncio.ensure_future(self._writer_loop())
+        if self.retrainer is not None:
+            self._retrain_task = asyncio.ensure_future(self.retrainer.run())
+
+    async def shutdown(self) -> None:
+        """Drain in-flight requests, then stop.  Idempotent."""
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._queue.put(_SHUTDOWN)
+        if self._writer_task is not None:
+            await self._writer_task
+        if self._retrain_task is not None:
+            self._retrain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._retrain_task
+        for conn in list(self._connections):
+            await conn.close()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() + len(self._pending)
+
+    # ------------------------------------------------------------ sequencer
+
+    async def _writer_loop(self) -> None:
+        queue, pending, node = self._queue, self._pending, self.node
+        stopping = False
+        while True:
+            if not stopping and node.processed not in pending:
+                item = await queue.get()
+                if item is _SHUTDOWN:
+                    stopping = True
+                else:
+                    pending[item.index] = item
+            # Drain whatever else is already queued before batching, so one
+            # inference call covers every currently-available request.
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _SHUTDOWN:
+                    stopping = True
+                else:
+                    pending[item.index] = item
+
+            batch = self._take_batch()
+            if batch:
+                self._process(batch)
+                # Yield so handlers/clients run between micro-batches.
+                await asyncio.sleep(0)
+                continue
+            if stopping:
+                # Nothing more can be sequenced: any leftovers are gapped
+                # (their predecessors never arrived before the drain).
+                for req in pending.values():
+                    req.conn.send(
+                        error_response(
+                            "GET",
+                            "server drained before preceding requests arrived",
+                            index=req.index,
+                        )
+                    )
+                pending.clear()
+                return
+
+    def _take_batch(self) -> list[_Request]:
+        pending = self._pending
+        i = self.node.processed
+        limit = self.node.cfg.max_batch
+        batch: list[_Request] = []
+        while len(batch) < limit:
+            req = pending.pop(i, None)
+            if req is None:
+                break
+            batch.append(req)
+            i += 1
+        return batch
+
+    def _process(self, batch: list[_Request]) -> None:
+        try:
+            results = self.node.process_batch([req.index for req in batch])
+        except Exception as exc:  # defensive: fail the batch, keep serving
+            for req in batch:
+                req.conn.send(error_response("GET", str(exc), index=req.index))
+            return
+        now = time.perf_counter()
+        latencies = self.service_latencies
+        if len(latencies) >= _LATENCY_WINDOW:
+            del latencies[: _LATENCY_WINDOW // 2]
+        for req, res in zip(batch, results):
+            latencies.append(now - req.t_enqueue)
+            req.conn.send(res)
+
+    # ---------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    conn.send(error_response("", f"protocol error: {exc}"))
+                    break
+                if message is None:
+                    break
+                await self._dispatch(message, conn)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            await conn.close()
+
+    async def _dispatch(self, message: dict, conn: _Connection) -> None:
+        op = str(message.get("op", "")).upper()
+        if op == "GET":
+            await self._dispatch_get(message, conn)
+        elif op == "STATS":
+            from repro.server.metrics import metrics_snapshot
+
+            conn.send(
+                {"ok": True, "op": "STATS", "stats": metrics_snapshot(self.node, self)}
+            )
+        elif op == "PING":
+            conn.send({"ok": True, "op": "PING"})
+        elif op == "RESET":
+            if self.queue_depth:
+                conn.send(error_response("RESET", "requests still in flight"))
+            else:
+                self.node.reset()
+                self.service_latencies.clear()
+                conn.send({"ok": True, "op": "RESET"})
+        elif op == "RELOAD":
+            if self.retrainer is None:
+                conn.send(error_response("RELOAD", "no retrainer configured"))
+            else:
+                info = await self.retrainer.retrain_now()
+                conn.send({"ok": True, "op": "RELOAD", **info})
+        else:
+            conn.send(error_response(op, f"unknown op {op!r}"))
+
+    async def _dispatch_get(self, message: dict, conn: _Connection) -> None:
+        index = message.get("index")
+        if not isinstance(index, int) or isinstance(index, bool):
+            conn.send(error_response("GET", "GET requires an integer index"))
+            return
+        if self._draining:
+            conn.send(error_response("GET", "server is draining", index=index))
+            return
+        node = self.node
+        if not 0 <= index < node.trace.n_accesses:
+            conn.send(error_response("GET", "index out of range", index=index))
+            return
+        if index < node.processed or index in self._pending:
+            conn.send(
+                error_response("GET", "index already served", index=index)
+            )
+            return
+        oid = message.get("oid")
+        if oid is not None and int(oid) != node.expected_oid(index):
+            conn.send(
+                error_response(
+                    "GET",
+                    "oid does not match the server's trace at this index",
+                    index=index,
+                )
+            )
+            return
+        await self._queue.put(_Request(index, conn, time.perf_counter()))
+
+
+async def run_server(
+    node: CacheNode,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    queue_depth: int = 1024,
+    retrainer=None,
+    ready: asyncio.Event | None = None,
+) -> CacheNodeServer:
+    """Start a node server, wire SIGINT/SIGTERM to a graceful drain, and
+    serve until shut down.  Returns the (closed) server for inspection."""
+    server = CacheNodeServer(
+        node, host, port, queue_depth=queue_depth, retrainer=retrainer
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    handled: list[signal.Signals] = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(server.shutdown())
+            )
+            handled.append(sig)
+        except (NotImplementedError, RuntimeError):  # non-unix loops
+            pass
+    print(
+        f"repro cache node listening on {server.host}:{server.port} "
+        f"({node.trace.n_accesses:,} trace requests, "
+        f"classifier={'on' if node.model is not None else 'off'})",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await server.wait_closed()
+    finally:
+        for sig in handled:
+            loop.remove_signal_handler(sig)
+    return server

@@ -1,0 +1,105 @@
+"""Length-prefixed JSON wire protocol for the cache-node service.
+
+Framing is a 4-byte big-endian unsigned length followed by a UTF-8 JSON
+object — the simplest self-delimiting format that supports pipelining
+(many requests in flight per connection) and stays debuggable with
+``nc``/``xxd``.  A production node would speak a binary protocol; JSON
+keeps the reproduction inspectable without changing the system's shape.
+
+Operations (client → server)
+----------------------------
+``GET``     ``{"op": "GET", "index": i, "oid": ..., "size": ...}`` —
+            one replayed trace request.  ``index`` is the trace position
+            (the server sequences requests by it), ``oid``/``size`` are
+            validated against the server's catalog.
+``STATS``   metrics snapshot (:mod:`repro.server.metrics`).
+``RELOAD``  force an immediate classifier retrain + atomic model swap.
+``RESET``   clear cache/statistics state and rewind the replay cursor.
+``PING``    liveness check.
+
+Every response carries ``"ok"`` (bool) and echoes ``"op"``; GET responses
+echo ``"index"`` so pipelined responses can be correlated out of order.
+Errors are in-band: ``{"ok": false, "op": ..., "error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "read_message",
+    "write_message",
+    "error_response",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame — a STATS snapshot is a few KB; anything near
+#: this limit indicates a corrupt or hostile frame, not a real message.
+MAX_MESSAGE_BYTES = 4 * 2**20
+
+OPS = ("GET", "STATS", "RELOAD", "RESET", "PING")
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the wire format (length, JSON, or shape)."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise one message to its framed wire form."""
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a dict")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(payload)} bytes exceeds limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> dict:
+    """Parse one frame *body* (header already stripped)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must decode to a JSON object")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one framed message; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the *middle* of a frame raises :class:`ProtocolError` — the peer
+    died mid-send and the connection state is unrecoverable.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("EOF inside frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("EOF inside frame body") from exc
+    return decode_message(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Frame and send one message, honouring transport backpressure."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+def error_response(op: str, error: str, **extra) -> dict:
+    return {"ok": False, "op": op, "error": error, **extra}

@@ -1,0 +1,169 @@
+"""Background daily retraining for the serving node (§4.4.3, live).
+
+The paper retrains its cost-sensitive CART every day at 05:00 on the
+previous 24 hours of sampled log data.  :class:`Retrainer` reproduces that
+loop against a running :class:`~repro.server.node.CacheNode`:
+
+* **clock** — boundaries are *trace time* (the replay's logical clock,
+  :attr:`CacheNode.trace_clock`), so a 200× speed-up replay retrains 200×
+  as often in wall time, exactly like re-running history faster;
+* **matured labels only** — a training sample at position *i* is usable
+  once ``M`` further requests have been observed (the §4.4.2 maturity
+  horizon); unmatured tail positions are excluded rather than mislabelled,
+  the same delayed-label rule :mod:`repro.core.monitoring` scores with;
+* **off the hot path** — ``fit`` runs in a worker thread via
+  ``run_in_executor``; the event loop keeps serving GETs meanwhile;
+* **atomic swap** — the fitted model is installed with
+  :meth:`CacheNode.install_model`, a single reference assignment read once
+  per micro-batch, so no request ever sees a half-swapped model.
+
+Each retrain also scores the node's recorded verdict stream with
+:func:`repro.core.monitoring.evaluate_admission_decisions`, giving the
+drift telemetry (worst-window accuracy) that tells an operator whether
+the daily cadence is keeping up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+from repro.core.labeling import one_time_labels
+from repro.core.monitoring import evaluate_admission_decisions
+from repro.core.training import sample_per_minute
+from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RetrainerConfig", "Retrainer"]
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class RetrainerConfig:
+    """Retraining schedule and training-set construction knobs."""
+
+    period: float = DAY          # trace seconds between retrains
+    retrain_hour: float = 5.0    # first boundary: retrain_hour o'clock
+    train_window: float | None = None   # seconds of history (default: period)
+    samples_per_minute: int = 100       # §3.1.1 log thinning
+    min_train_samples: int = 50
+    poll_seconds: float = 0.05   # wall-clock cadence of the boundary check
+    monitor_window: int = 10_000
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.retrain_hour < 24.0:
+            raise ValueError("retrain_hour must be in [0, 24)")
+        if self.train_window is not None and self.train_window <= 0:
+            raise ValueError("train_window must be positive")
+
+
+class Retrainer:
+    """Drives periodic (and on-demand ``RELOAD``) model refreshes."""
+
+    def __init__(self, node, cfg: RetrainerConfig | None = None):
+        if node.criteria is None or node.tracker is None:
+            raise ValueError("retrainer requires a node with a classifier stack")
+        self.node = node
+        self.cfg = cfg if cfg is not None else RetrainerConfig()
+        # Features are pure request-time functions, so precomputing the full
+        # matrix is equivalent to buffering online-built rows (and is what
+        # keeps `fit` self-contained in the worker thread).
+        self._fm = extract_features(node.trace).select(PAPER_FEATURE_NAMES)
+        self._rng = np.random.default_rng(node.cfg.seed)
+        self.history: list[dict] = []
+
+    @property
+    def retrains(self) -> int:
+        return sum(1 for rec in self.history if rec["trained"])
+
+    async def run(self) -> None:
+        """Poll the node's trace clock and retrain at each boundary."""
+        boundary = self.cfg.retrain_hour * 3600.0
+        if boundary <= 0.0:
+            boundary += self.cfg.period
+        while True:
+            await asyncio.sleep(self.cfg.poll_seconds)
+            while self.node.trace_clock >= boundary:
+                await self._retrain_at(boundary)
+                boundary += self.cfg.period
+
+    async def retrain_now(self) -> dict:
+        """Immediate retrain on everything observed so far (RELOAD op)."""
+        return await self._retrain_at(self.node.trace_clock)
+
+    # ---------------------------------------------------------------- inner
+
+    def _select_training_rows(self, t_cut: float) -> np.ndarray:
+        node, cfg = self.node, self.cfg
+        ts = node.trace.timestamps
+        horizon = int(math.ceil(node.criteria.m_threshold))
+        matured_end = node.processed - horizon
+        if matured_end <= 0:
+            return np.empty(0, dtype=np.int64)
+        window = cfg.train_window if cfg.train_window is not None else cfg.period
+        lo, hi = np.searchsorted(ts, [max(0.0, t_cut - window), t_cut])
+        hi = min(hi, matured_end)
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        rows = np.arange(lo, hi)
+        picked = sample_per_minute(ts[rows], cfg.samples_per_minute, self._rng)
+        return rows[picked]
+
+    async def _retrain_at(self, t_cut: float) -> dict:
+        node, cfg = self.node, self.cfg
+        record = {
+            "t_cut": float(t_cut),
+            "trained": False,
+            "n_train": 0,
+            "model_version": node.model_version,
+            "worst_window_accuracy": None,
+        }
+        rows = self._select_training_rows(t_cut)
+        record["n_train"] = int(rows.shape[0])
+
+        # Matured labels over the observed prefix: for every selected row the
+        # full M-request lookahead lies inside the prefix, so these labels
+        # equal the full-trace oracle labels at those positions.
+        n_obs = node.processed
+        m = node.criteria.m_threshold
+        if rows.shape[0] >= cfg.min_train_samples:
+            prefix_oids = node.trace.object_ids[:n_obs]
+            labels = one_time_labels(prefix_oids, m)
+            y = labels[rows]
+            if np.unique(y).shape[0] == 2:
+                X = self._fm.X[rows]
+                seed = int(self._rng.integers(0, 2**63 - 1))
+                model = CostSensitiveClassifier(
+                    DecisionTreeClassifier(
+                        max_splits=node.cfg.max_splits, rng=seed
+                    ),
+                    CostMatrix(fn_cost=1.0, fp_cost=node.cfg.cost_v),
+                )
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, model.fit, X, y)
+                record["model_version"] = node.install_model(model)
+                record["trained"] = True
+
+        # Drift telemetry on the matured verdict stream.
+        horizon = int(math.ceil(m))
+        if n_obs > horizon:
+            quality = evaluate_admission_decisions(
+                node.trace.object_ids[:n_obs],
+                node.denied_mask[:n_obs],
+                m,
+                window_size=cfg.monitor_window,
+            )
+            worst = quality.worst_window()
+            acc = quality.accuracy[worst]
+            if np.isfinite(acc):
+                record["worst_window_accuracy"] = float(acc)
+
+        self.history.append(record)
+        return record

@@ -1,0 +1,103 @@
+"""End-to-end acceptance: ``repro serve`` + ``repro loadgen`` over TCP.
+
+A ~10k-request synthetic trace is saved, served by a real ``python -m
+repro serve`` subprocess, replayed by the loadgen CLI, and the server's
+reported file hit rate / SSD write count are compared **exactly** against
+the offline ``simulate()`` result on the identical trace and admission
+stack (``replay_offline``).
+"""
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.server.loadgen import fetch_stats
+from repro.server.node import NodeConfig, replay_offline
+from repro.trace.io import load_trace
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("e2e") / "trace.npz"
+    # ~10k requests: 2500 objects × ≈4 accesses/object.
+    assert main(["generate", str(path), "--objects", "2500", "--seed", "7"]) == 0
+    return path
+
+
+def spawn_server(trace_file, *extra) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--trace",
+            str(trace_file),
+            "--port",
+            "0",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on [\w.]+:(\d+)", line)
+    assert match, f"no ready line from server: {line!r}"
+    return proc, int(match.group(1))
+
+
+def test_serve_loadgen_matches_offline_simulate(trace_file, capsys):
+    trace = load_trace(trace_file)
+    assert trace.n_accesses >= 9_000
+
+    proc, port = spawn_server(trace_file)
+    try:
+        rc = main(
+            [
+                "loadgen",
+                "--trace",
+                str(trace_file),
+                "--port",
+                str(port),
+                "--rate",
+                "30000",
+                "--connections",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out and "p99" in out
+
+        snap = asyncio.run(fetch_stats("127.0.0.1", port))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=30)
+
+    # Graceful SIGTERM drain: exit 0 and a final metrics table.
+    assert proc.returncode == 0
+    assert "file hit rate" in stdout
+
+    # The served replay must agree exactly with the offline simulation of
+    # the identical trace + admission stack (CLI serve defaults, seed 0).
+    ref = replay_offline(trace, NodeConfig(capacity_fraction=0.01, seed=0))
+    assert snap["requests"] == trace.n_accesses
+    assert snap["hits"] == ref.stats.hits
+    assert snap["hit_rate"] == pytest.approx(ref.stats.hit_rate)
+    assert snap["files_written"] == ref.stats.files_written
+    assert snap["bytes_written"] == ref.stats.bytes_written
+    assert snap["admissions_denied"] == ref.stats.admissions_denied

@@ -1,0 +1,152 @@
+"""CacheNode state-machine tests: batch parity with the offline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.server.node import CacheNode, NodeConfig, replay_offline
+
+
+def drive(node: CacheNode, batch_sizes=(1,)) -> CacheStats:
+    """Replay the node's whole trace in cycling batch sizes."""
+    n = node.trace.n_accesses
+    i = k = 0
+    while i < n:
+        step = min(batch_sizes[k % len(batch_sizes)], n - i)
+        node.process_batch(list(range(i, i + step)))
+        i += step
+        k += 1
+    return node.stats
+
+
+def assert_stats_equal(a: CacheStats, b: CacheStats):
+    for f in (
+        "requests",
+        "hits",
+        "bytes_requested",
+        "bytes_hit",
+        "files_written",
+        "bytes_written",
+        "evictions",
+        "admissions_denied",
+    ):
+        assert getattr(a, f) == getattr(b, f), f
+
+
+CFG = NodeConfig(capacity_fraction=0.02)
+
+
+class TestBatchParity:
+    def test_classified_node_matches_offline_simulate(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        assert node.model is not None  # the interesting path
+        drive(node, batch_sizes=(1, 7, 64, 256, 13))
+        ref = replay_offline(tiny_trace, CFG)
+        assert_stats_equal(node.stats, ref.stats)
+
+    def test_unclassified_node_matches_offline_simulate(self, tiny_trace):
+        cfg = NodeConfig(capacity_fraction=0.02, classifier=False)
+        node = CacheNode(tiny_trace, cfg)
+        drive(node, batch_sizes=(32,))
+        ref = replay_offline(tiny_trace, cfg)
+        assert_stats_equal(node.stats, ref.stats)
+
+    def test_batch_size_invariance(self, tiny_trace):
+        one = CacheNode(tiny_trace, CFG)
+        drive(one, batch_sizes=(1,))
+        big = CacheNode(tiny_trace, CFG)
+        drive(big, batch_sizes=(256,))
+        assert_stats_equal(one.stats, big.stats)
+        assert one.rectified_admits == big.rectified_admits
+
+    def test_plain_ssd_tier_without_dram(self, tiny_trace):
+        cfg = NodeConfig(capacity_fraction=0.02, dram_fraction=0.0)
+        node = CacheNode(tiny_trace, cfg)
+        drive(node, batch_sizes=(50,))
+        ref = replay_offline(tiny_trace, cfg)
+        assert_stats_equal(node.stats, ref.stats)
+
+
+class TestSequencing:
+    def test_rejects_non_contiguous_batch(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        with pytest.raises(ValueError):
+            node.process_batch([1, 2])  # must start at 0
+        node.process_batch([0, 1])
+        with pytest.raises(ValueError):
+            node.process_batch([3])  # gap
+
+    def test_responses_report_hit_and_admission(self, tiny_trace):
+        node = CacheNode(tiny_trace, NodeConfig(capacity_fraction=0.02, classifier=False))
+        out = node.process_batch(list(range(200)))
+        assert [r["index"] for r in out] == list(range(200))
+        assert all(r["ok"] for r in out)
+        hits = sum(r["hit"] for r in out)
+        assert hits == node.stats.hits
+        assert sum(r["admitted"] for r in out) == node.stats.files_written
+
+
+class TestTelemetry:
+    def test_classify_times_cover_every_request(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        drive(node, batch_sizes=(64,))
+        times = node.classify_times()
+        assert times.shape[0] == tiny_trace.n_accesses
+        assert (times > 0).all()
+
+    def test_trace_clock_advances(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        assert node.trace_clock == 0.0
+        node.process_batch(list(range(100)))
+        assert node.trace_clock == pytest.approx(
+            float(tiny_trace.timestamps[99])
+        )
+
+    def test_reset_clears_state_but_keeps_model(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        drive(node, batch_sizes=(128,))
+        model, version = node.model, node.model_version
+        node.reset()
+        assert node.processed == 0
+        assert node.stats.requests == 0
+        assert not node.denied_mask.any()
+        assert node.model is model and node.model_version == version
+        # A reset node replays to the identical result.
+        drive(node, batch_sizes=(128,))
+        assert_stats_equal(node.stats, replay_offline(tiny_trace, CFG).stats)
+
+
+class TestModelSwap:
+    def test_install_model_bumps_version_and_applies_next_batch(self, tiny_trace):
+        node = CacheNode(tiny_trace, CFG)
+        node.process_batch(list(range(500)))
+        v0 = node.model_version
+
+        class DenyAll:
+            def predict(self, X):
+                return np.ones(X.shape[0], dtype=np.int64)
+
+        assert node.install_model(DenyAll()) == v0 + 1
+        before = node.stats.admissions_denied
+        out = node.process_batch(list(range(500, 1000)))
+        # Every miss is now predicted one-time: admissions happen only via
+        # history-table rectification.
+        denied = sum(r["denied"] for r in out)
+        assert node.stats.admissions_denied == before + denied
+        assert denied > 0
+
+
+class TestConfigValidation:
+    def test_capacity_requires_exactly_one_spec(self, tiny_trace):
+        with pytest.raises(ValueError):
+            NodeConfig(capacity_fraction=None, capacity_bytes=None).resolve_capacity(
+                tiny_trace
+            )
+        with pytest.raises(ValueError):
+            NodeConfig(
+                capacity_fraction=0.1, capacity_bytes=100
+            ).resolve_capacity(tiny_trace)
+
+    def test_capacity_bytes_passthrough(self, tiny_trace):
+        cfg = NodeConfig(capacity_fraction=None, capacity_bytes=12345)
+        assert cfg.resolve_capacity(tiny_trace) == 12345

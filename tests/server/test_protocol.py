@@ -1,0 +1,99 @@
+"""Wire-format tests: framing, round-trips, and malformed-frame handling."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    read_message,
+)
+
+
+def feed_reader(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_round_trip(self):
+        msg = {"op": "GET", "index": 7, "oid": 123, "size": 4096}
+        assert decode_message(encode_message(msg)[4:]) == msg
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_message({"op": "PING"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_unicode_survives(self):
+        msg = {"op": "PING", "note": "café ✓"}
+        assert decode_message(encode_message(msg)[4:]) == msg
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1,2]")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{nope")
+
+    def test_error_response_shape(self):
+        resp = error_response("GET", "boom", index=4)
+        assert resp == {"ok": False, "op": "GET", "error": "boom", "index": 4}
+
+
+class TestStreamReading:
+    def test_reads_pipelined_messages(self):
+        frames = b"".join(
+            encode_message({"op": "GET", "index": i}) for i in range(5)
+        )
+
+        async def run():
+            reader = feed_reader(frames)
+            out = []
+            while (msg := await read_message(reader)) is not None:
+                out.append(msg["index"])
+            return out
+
+        assert asyncio.run(run()) == [0, 1, 2, 3, 4]
+
+    def test_clean_eof_returns_none(self):
+        async def run():
+            return await read_message(feed_reader(b""))
+
+        assert asyncio.run(run()) is None
+
+    def test_eof_inside_header_raises(self):
+        async def run():
+            return await read_message(feed_reader(b"\x00\x00"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_eof_inside_body_raises(self):
+        frame = encode_message({"op": "PING"})
+
+        async def run():
+            return await read_message(feed_reader(frame[:-2]))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        header = struct.pack(">I", MAX_MESSAGE_BYTES + 1)
+
+        async def run():
+            return await read_message(feed_reader(header))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())

@@ -1,0 +1,255 @@
+"""Serving-layer integration tests over real localhost TCP.
+
+The load-bearing property: a replay served through concurrent connections
+produces *identical* cache statistics to the offline simulator on the same
+trace — the single-writer sequencer makes concurrency invisible to cache
+state.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.loadgen import LoadgenConfig, fetch_stats, run_loadgen
+from repro.server.node import CacheNode, CacheNodeServer, NodeConfig, replay_offline
+from repro.server.protocol import read_message, write_message
+from repro.server.retrainer import Retrainer, RetrainerConfig
+
+CFG = NodeConfig(capacity_fraction=0.02)
+
+
+async def start_server(trace, cfg=CFG, **kwargs) -> tuple[CacheNode, CacheNodeServer]:
+    node = CacheNode(trace, cfg)
+    server = CacheNodeServer(node, port=0, **kwargs)
+    await server.start()
+    return node, server
+
+
+class TestReplayParity:
+    def test_concurrent_replay_matches_offline_simulate(self, tiny_trace):
+        async def run():
+            node, server = await start_server(tiny_trace)
+            result = await run_loadgen(
+                tiny_trace,
+                LoadgenConfig(port=server.port, rate=50_000, connections=6),
+            )
+            await server.shutdown()
+            return node, result
+
+        node, result = asyncio.run(run())
+        assert result.errors == 0
+        assert result.completed == tiny_trace.n_accesses
+
+        ref = replay_offline(tiny_trace, CFG)
+        assert node.stats.hits == ref.stats.hits
+        assert node.stats.files_written == ref.stats.files_written
+        assert node.stats.bytes_written == ref.stats.bytes_written
+        assert node.stats.admissions_denied == ref.stats.admissions_denied
+        # The STATS snapshot carried back by the loadgen agrees too.
+        snap = result.server_stats
+        assert snap["requests"] == tiny_trace.n_accesses
+        assert snap["hit_rate"] == pytest.approx(ref.stats.hit_rate)
+        assert snap["files_written"] == ref.stats.files_written
+        assert snap["t_classify"]["count"] == tiny_trace.n_accesses
+        assert snap["service_latency"]["count"] == tiny_trace.n_accesses
+
+    def test_client_observed_hits_match_server(self, tiny_trace):
+        async def run():
+            node, server = await start_server(
+                tiny_trace, NodeConfig(capacity_fraction=0.02, classifier=False)
+            )
+            result = await run_loadgen(
+                tiny_trace,
+                LoadgenConfig(port=server.port, rate=50_000, connections=3),
+            )
+            await server.shutdown()
+            return node, result
+
+        node, result = asyncio.run(run())
+        assert result.hits == node.stats.hits
+
+
+class TestSequencing:
+    def test_out_of_order_arrival_is_reassembled(self, tiny_trace):
+        """Index 1 sent (on another connection) before index 0 still
+        completes, in trace order, once index 0 arrives."""
+
+        async def run():
+            node, server = await start_server(tiny_trace)
+            r1, w1 = await asyncio.open_connection("127.0.0.1", server.port)
+            r2, w2 = await asyncio.open_connection("127.0.0.1", server.port)
+            await write_message(w1, {"op": "GET", "index": 1})
+            await asyncio.sleep(0.05)
+            assert node.processed == 0  # parked, waiting for index 0
+            await write_message(w2, {"op": "GET", "index": 0})
+            first = await read_message(r2)
+            second = await read_message(r1)
+            for w in (w1, w2):
+                w.close()
+                await w.wait_closed()
+            await server.shutdown()
+            return node, first, second
+
+        node, first, second = asyncio.run(run())
+        assert first["ok"] and first["index"] == 0
+        assert second["ok"] and second["index"] == 1
+        assert node.processed == 2
+
+    def test_duplicate_and_out_of_range_indices_are_rejected(self, tiny_trace):
+        async def run():
+            node, server = await start_server(tiny_trace)
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await write_message(writer, {"op": "GET", "index": 0})
+            ok = await read_message(reader)
+            await write_message(writer, {"op": "GET", "index": 0})  # duplicate
+            dup = await read_message(reader)
+            await write_message(
+                writer, {"op": "GET", "index": tiny_trace.n_accesses}
+            )
+            oob = await read_message(reader)
+            await write_message(writer, {"op": "GET", "index": 1, "oid": -1})
+            mismatch = await read_message(reader)
+            await write_message(writer, {"op": "NOPE"})
+            unknown = await read_message(reader)
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+            return ok, dup, oob, mismatch, unknown
+
+        ok, dup, oob, mismatch, unknown = asyncio.run(run())
+        assert ok["ok"]
+        for resp in (dup, oob, mismatch, unknown):
+            assert not resp["ok"] and "error" in resp
+
+
+class TestGracefulShutdown:
+    def test_drain_answers_every_accepted_request(self, tiny_trace):
+        """SIGTERM-style shutdown processes everything already accepted."""
+        k = 500
+
+        async def run():
+            node, server = await start_server(tiny_trace)
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            for i in range(k):
+                await write_message(writer, {"op": "GET", "index": i})
+            await asyncio.sleep(0.05)  # let the handler accept them all
+            shutdown = asyncio.ensure_future(server.shutdown())
+            responses = []
+            while len(responses) < k:
+                msg = await read_message(reader)
+                if msg is None:
+                    break
+                responses.append(msg)
+            await shutdown
+            writer.close()
+            return node, responses
+
+        node, responses = asyncio.run(run())
+        assert len(responses) == k
+        assert all(r["ok"] for r in responses)
+        assert node.processed == k
+        # And the drained prefix still matches the offline replay.
+        ref = replay_offline(tiny_trace, CFG)
+        assert node.stats.hits <= ref.stats.hits
+
+    def test_new_requests_rejected_while_draining(self, tiny_trace):
+        async def run():
+            node, server = await start_server(tiny_trace)
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await server.shutdown()
+            # The connection stays open through the drain; late GETs get an
+            # in-band error (written before the server closes it).
+            await write_message(writer, {"op": "GET", "index": 0})
+            msg = await read_message(reader)
+            writer.close()
+            return msg
+
+        msg = asyncio.run(run())
+        assert msg is None or (not msg["ok"] and "drain" in msg["error"])
+
+
+class TestOps:
+    def test_ping_stats_reset(self, tiny_trace):
+        async def run():
+            node, server = await start_server(tiny_trace)
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await write_message(writer, {"op": "PING"})
+            ping = await read_message(reader)
+            for i in range(100):
+                await write_message(writer, {"op": "GET", "index": i})
+            for _ in range(100):
+                await read_message(reader)
+            stats = await fetch_stats("127.0.0.1", server.port)
+            await write_message(writer, {"op": "RESET"})
+            reset = await read_message(reader)
+            stats_after = await fetch_stats("127.0.0.1", server.port)
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+            return ping, stats, reset, stats_after
+
+        ping, stats, reset, stats_after = asyncio.run(run())
+        assert ping["ok"] and ping["op"] == "PING"
+        assert stats["requests"] == 100
+        assert reset["ok"]
+        assert stats_after["requests"] == 0
+        assert stats_after["processed"] == 0
+
+    def test_reload_without_retrainer_errors(self, tiny_trace):
+        async def run():
+            node, server = await start_server(tiny_trace)
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await write_message(writer, {"op": "RELOAD"})
+            msg = await read_message(reader)
+            writer.close()
+            await writer.wait_closed()
+            await server.shutdown()
+            return msg
+
+        msg = asyncio.run(run())
+        assert not msg["ok"]
+
+
+class TestAtomicModelSwap:
+    def test_reload_during_replay_drops_no_request(self, tiny_trace):
+        """A mid-replay retrain + atomic swap: every request still gets a
+        successful response and the model version advances."""
+
+        async def run():
+            node = CacheNode(tiny_trace, CFG)
+            retrainer = Retrainer(
+                node,
+                # Huge period: only the explicit RELOAD retrains.
+                RetrainerConfig(period=1e9, retrain_hour=5.0),
+            )
+            server = CacheNodeServer(node, port=0, retrainer=retrainer)
+            await server.start()
+
+            async def reload_midway():
+                await asyncio.sleep(0.1)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await write_message(writer, {"op": "RELOAD"})
+                msg = await read_message(reader)
+                writer.close()
+                await writer.wait_closed()
+                return msg
+
+            result, reload_resp = await asyncio.gather(
+                run_loadgen(
+                    tiny_trace,
+                    LoadgenConfig(port=server.port, rate=10_000, connections=4),
+                ),
+                reload_midway(),
+            )
+            await server.shutdown()
+            return node, result, reload_resp
+
+        node, result, reload_resp = asyncio.run(run())
+        assert result.errors == 0
+        assert result.completed == tiny_trace.n_accesses
+        assert node.processed == tiny_trace.n_accesses
+        assert reload_resp["ok"]
+        if reload_resp["trained"]:
+            assert node.model_version >= 2

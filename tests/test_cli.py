@@ -1,5 +1,10 @@
 """Tests for the command-line interface."""
 
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -26,11 +31,42 @@ class TestParser:
             ["simulate", "--policy", "arc"],
             ["experiment", "--cost-v", "3"],
             ["sweep", "--policy", "lirs"],
+            ["serve", "--port", "0", "--no-classifier", "--retrain-period",
+             "86400"],
+            ["loadgen", "--rate", "5000", "--connections", "8", "--limit",
+             "1000"],
         ],
     )
     def test_commands_parse(self, argv):
         args = build_parser().parse_args(argv + BASE)
         assert args.command == argv[0]
+
+
+class TestConsoleScript:
+    """The ``repro`` entry point (and its ``python -m repro`` twin)."""
+
+    def test_pyproject_declares_entry_point(self):
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        text = pyproject.read_text()
+        assert "[project.scripts]" in text
+        assert 'repro = "repro.cli:main"' in text
+
+    def test_module_help_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "serve" in proc.stdout and "loadgen" in proc.stdout
+
+    def test_installed_script_help_exits_zero(self):
+        script = shutil.which("repro")
+        if script is None:
+            pytest.skip("console script not installed in this environment")
+        proc = subprocess.run([script, "--help"], capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert "loadgen" in proc.stdout
 
 
 class TestCommands:
