@@ -11,7 +11,7 @@ from common import emit
 
 from repro.cache import make_policy, simulate
 from repro.core.admission import OracleAdmission
-from repro.core.labeling import one_time_labels, rudimentary_one_time_labels
+from repro.core.labeling import rudimentary_one_time_labels
 
 
 def bench_criteria(benchmark, capsys, trace, grid):

@@ -14,7 +14,7 @@ Compares the node with and without the classification system.
 Run:  python examples/production_node.py
 """
 
-from repro.cache import LRUCache, simulate
+from repro.cache import LRUCache
 from repro.cache.hierarchy import HierarchicalCache
 from repro.core.admission import AlwaysAdmit
 from repro.core.criteria import solve_criteria

@@ -45,8 +45,14 @@ class ARCCache(CachePolicy):
 
     def _replace(self, incoming_in_b2: bool, evicted: list[int]) -> None:
         """Evict one object from T1 or T2 into its ghost list."""
+        # With byte-weighted sizes the unit-page invariant "preferred list
+        # is non-empty" can break (e.g. T2 empty while t1_bytes <= p), so
+        # fall back to whichever list has residents.  At least one does:
+        # _make_room only runs when t1_bytes + t2_bytes + size > c and
+        # size > c inserts are rejected up front.
         if self._t1 and (
-            self._t1_bytes > self._p
+            not self._t2
+            or self._t1_bytes > self._p
             or (incoming_in_b2 and self._t1_bytes >= max(self._p, 1))
         ):
             oid, size = self._t1.popitem(last=False)

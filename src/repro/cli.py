@@ -2,13 +2,17 @@
 
 Subcommands
 -----------
-``stats``       synthesise a trace and print its §2.2 statistics
+``stats``       synthesise a trace and print its §2.2 statistics, or — with
+                ``--watch`` — poll a live node's ``/statsz`` endpoint
 ``generate``    synthesise a trace and save it (.npz)
 ``simulate``    replay a trace through one policy/capacity
 ``experiment``  full Original/Proposal/Ideal/Belady comparison
 ``sweep``       capacity sweep for one policy (Fig.-2/6 style rows)
 ``serve``       run the asyncio cache-node service on a trace
+                (``--metrics-port`` adds the HTTP observability side-car)
 ``loadgen``     open-loop trace replay against a running ``serve`` node
+``trace-dump``  drain a serving node's sampled decision-trace ring buffer
+                (the TCP ``TRACE`` verb) as JSON lines
 
 All commands accept either ``--trace file.npz`` or generator parameters
 (``--objects``, ``--days``, ``--seed``).  ``serve`` and ``loadgen`` must be
@@ -38,6 +42,14 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_log_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--log-level", default="info",
+                   choices=["debug", "info", "warning", "error"],
+                   help="stdlib logging level for the repro.* loggers")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit logs as JSON lines (same encoding as TRACE events)")
+
+
 def _resolve_trace(args):
     if args.trace:
         return load_trace(args.trace)
@@ -56,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="trace statistics (§2.2) and type histogram")
     _add_trace_args(p)
     p.add_argument("--types", action="store_true", help="print the Fig.-3 histogram")
+    p.add_argument("--watch", action="store_true",
+                   help="poll a live node's /statsz instead of analysing a trace")
+    p.add_argument("--stats-host", default="127.0.0.1",
+                   help="metrics exporter host (with --watch)")
+    p.add_argument("--stats-port", type=int, default=9642,
+                   help="metrics exporter port (with --watch)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (with --watch)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N polls (default: until interrupted)")
 
     p = sub.add_parser("generate", help="synthesise a trace and save it")
     _add_trace_args(p)
@@ -108,6 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace seconds between retrains; 0 disables the "
                         "background retrainer (RELOAD still unavailable)")
     p.add_argument("--retrain-hour", type=float, default=5.0)
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve /metrics, /healthz and /statsz over HTTP on "
+                        "this port (0 picks a free one); omit to disable")
+    p.add_argument("--metrics-host", default="127.0.0.1")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of admission decisions recorded in the "
+                        "TRACE ring buffer (0 disables tracing)")
+    p.add_argument("--trace-capacity", type=int, default=4096,
+                   help="decision-trace ring-buffer size (events kept)")
+    p.add_argument("--drift-window", type=int, default=10_000,
+                   help="matured-verdict window size for the live drift "
+                        "monitor (0 disables it)")
+    p.add_argument("--drift-threshold", type=float, default=None,
+                   help="fire the drift alarm when a window's matured "
+                        "accuracy drops below this (default: never)")
+    p.add_argument("--retrain-on-drift", action="store_true",
+                   help="schedule an immediate retrain when the drift alarm "
+                        "fires (requires a retrainer and --drift-threshold)")
+    _add_log_args(p)
 
     p = sub.add_parser("loadgen", help="open-loop replay against a serve node")
     _add_trace_args(p)
@@ -119,11 +160,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=0)
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first LIMIT positions from --start")
+    _add_log_args(p)
+
+    p = sub.add_parser(
+        "trace-dump",
+        help="drain a serving node's decision-trace buffer as JSON lines",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="the node's TCP protocol port (not the metrics port)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="at most N most-recent events (default: all buffered)")
+    p.add_argument("--clear", action="store_true",
+                   help="clear the ring buffer after dumping")
+    p.add_argument("--output", default=None,
+                   help="write events to this file instead of stdout")
 
     return parser
 
 
 def _cmd_stats(args) -> int:
+    if args.watch:
+        return _watch_stats(args)
     trace = _resolve_trace(args)
     print(compute_stats(trace).summary())
     if args.types:
@@ -131,6 +189,39 @@ def _cmd_stats(args) -> int:
             type_request_histogram(trace).items(), key=lambda kv: -kv[1]
         ):
             print(f"  {name}: {100 * share:5.1f}%")
+    return 0
+
+
+def _watch_stats(args) -> int:
+    """Live dashboard: poll /statsz and re-render the metrics table."""
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.server.metrics import format_metrics
+
+    url = f"http://{args.stats_host}:{args.stats_port}/statsz"
+    polls = 0
+    try:
+        while args.iterations is None or polls < args.iterations:
+            if polls:
+                time.sleep(args.interval)
+            polls += 1
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as resp:
+                    snap = json.loads(resp.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"[{time.strftime('%H:%M:%S')}] {url}: {exc}")
+                continue
+            done = snap["processed"]
+            total = snap["trace_requests"]
+            pct = 100.0 * done / total if total else 0.0
+            print(f"\n[{time.strftime('%H:%M:%S')}] {url}  "
+                  f"replay {done:,}/{total:,} ({pct:.1f}%)")
+            print(format_metrics(snap))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -233,11 +324,18 @@ def _cmd_report(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.obs import DecisionTrace, DriftMonitor, configure_logging
     from repro.server.metrics import format_metrics, metrics_snapshot
     from repro.server.node import CacheNode, NodeConfig, run_server
     from repro.server.retrainer import Retrainer, RetrainerConfig
 
+    configure_logging(args.log_level, json_format=args.log_json)
     trace = _resolve_trace(args)
+    tracer = None
+    if args.trace_sample > 0:
+        tracer = DecisionTrace(
+            capacity=args.trace_capacity, sample_rate=args.trace_sample
+        )
     node = CacheNode(
         trace,
         NodeConfig(
@@ -249,7 +347,15 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             max_batch=args.max_batch,
         ),
+        tracer=tracer,
     )
+    if node.criteria is not None and args.drift_window > 0:
+        node.drift = DriftMonitor(
+            node.criteria.m_threshold,
+            window_size=args.drift_window,
+            alarm_threshold=args.drift_threshold,
+            registry=node.registry,
+        )
     retrainer = None
     if args.retrain_period > 0 and node.model is not None:
         retrainer = Retrainer(
@@ -266,6 +372,9 @@ def _cmd_serve(args) -> int:
             args.port,
             queue_depth=args.queue_depth,
             retrainer=retrainer,
+            metrics_host=args.metrics_host,
+            metrics_port=args.metrics_port,
+            retrain_on_drift=args.retrain_on_drift,
         )
         print(format_metrics(metrics_snapshot(node, server)))
 
@@ -279,9 +388,11 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     import asyncio
 
+    from repro.obs import configure_logging
     from repro.server.loadgen import LoadgenConfig, run_loadgen
     from repro.server.metrics import format_metrics
 
+    configure_logging(args.log_level, json_format=args.log_json)
     trace = _resolve_trace(args)
     result = asyncio.run(
         run_loadgen(
@@ -303,6 +414,52 @@ def _cmd_loadgen(args) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _cmd_trace_dump(args) -> int:
+    import asyncio
+
+    from repro.obs.structlog import json_line
+    from repro.server.protocol import read_message, write_message
+
+    async def _dump() -> tuple[dict, list]:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        try:
+            request = {"op": "TRACE", "clear": bool(args.clear)}
+            if args.limit is not None:
+                request["limit"] = args.limit
+            await write_message(writer, request)
+            msg = await read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if msg is None or not msg.get("ok"):
+            error = (msg or {}).get("error", "connection closed")
+            raise ConnectionError(error)
+        return msg, msg["events"]
+
+    try:
+        msg, events = asyncio.run(_dump())
+    except (ConnectionError, OSError) as exc:
+        print(f"trace-dump failed: {exc}", file=sys.stderr)
+        return 1
+    lines = "\n".join(json_line(event) for event in events)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            if lines:
+                fh.write(lines + "\n")
+    elif lines:
+        print(lines)
+    print(
+        f"{len(events)} event(s) dumped "
+        f"(seen {msg['seen']:,}, sampled {msg['sampled']:,}, "
+        f"dropped {msg['dropped']:,}, rate {msg['sample_rate']})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
@@ -313,6 +470,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "trace-dump": _cmd_trace_dump,
 }
 
 

@@ -160,6 +160,18 @@ class TwoTierCluster:
         self.dc = dc
         self.ring = ConsistentHashRing(self.oc_nodes, replicas=replicas)
         self.latency = latency or ClusterLatency()
+        self._registry = None
+
+    def instrument(self, registry) -> None:
+        """Bind every node (OC tier + DC) into one metrics registry.
+
+        Nodes added later via :meth:`add_node` inherit the registry; the
+        DC node is labelled by its own name (conventionally ``"dc"``).
+        """
+        self._registry = registry
+        for node in self.oc_nodes.values():
+            node.instrument(registry)
+        self.dc.instrument(registry)
 
     def reset(self) -> None:
         for node in self.oc_nodes.values():
@@ -186,6 +198,8 @@ class TwoTierCluster:
         if node.name in self.oc_nodes:
             raise ValueError(f"node {node.name!r} already present")
         self.oc_nodes[node.name] = node
+        if self._registry is not None:
+            node.instrument(self._registry)
         self.ring = ConsistentHashRing(self.oc_nodes, replicas=self.ring.replicas)
 
 

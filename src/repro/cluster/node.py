@@ -47,6 +47,37 @@ class CacheNode:
         self.policy = policy
         self.admission = admission
         self.stats = NodeStats()
+        # Pre-bound metric children (see :meth:`instrument`); None keeps the
+        # per-request fast path branch-predictable for uninstrumented runs.
+        self._m_hits = None
+        self._m_misses = None
+        self._m_writes = None
+        self._m_denied = None
+
+    def instrument(self, registry) -> None:
+        """Bind this node's counters into an obs metrics registry.
+
+        Children carry a ``node`` label so one registry can hold a whole
+        cluster tier; counters are incremented per request from then on
+        (pre-existing totals are not backfilled).
+        """
+        requests = registry.counter(
+            "repro_cluster_requests_total",
+            "Cluster-node requests by node and result.",
+            ("node", "result"),
+        )
+        self._m_hits = requests.labels(node=self.name, result="hit")
+        self._m_misses = requests.labels(node=self.name, result="miss")
+        self._m_writes = registry.counter(
+            "repro_cluster_ssd_writes_total",
+            "Cluster-node cache insertions (SSD writes) by node.",
+            ("node",),
+        ).labels(node=self.name)
+        self._m_denied = registry.counter(
+            "repro_cluster_admissions_denied_total",
+            "Cluster-node admission denials by node.",
+            ("node",),
+        ).labels(node=self.name)
 
     def reset(self) -> None:
         """Clear counters and admission state.
@@ -69,6 +100,8 @@ class CacheNode:
             stats.bytes_hit += size
             if self.admission is not None:
                 self.admission.on_hit(index, oid, size)
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return True
         admit = (
             self.admission.should_admit(index, oid, size)
@@ -78,7 +111,13 @@ class CacheNode:
         result = self.policy.access(oid, size, admit=admit)
         if not admit:
             stats.admissions_denied += 1
+            if self._m_denied is not None:
+                self._m_denied.inc()
         if result.inserted:
             stats.files_written += 1
             stats.bytes_written += size
+            if self._m_writes is not None:
+                self._m_writes.inc()
+        if self._m_misses is not None:
+            self._m_misses.inc()
         return False

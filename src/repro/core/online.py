@@ -27,6 +27,7 @@ from repro.cache.base import AdmissionPolicy
 from repro.core.features import PAPER_FEATURE_NAMES
 from repro.core.history_table import HistoryTable
 from repro.core.labeling import ONE_TIME
+from repro.obs.registry import Reservoir
 from repro.trace.records import Trace
 
 __all__ = ["OnlineFeatureTracker", "OnlineClassifierAdmission"]
@@ -151,6 +152,7 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         m_threshold: float,
         history_table: HistoryTable | None = None,
         pos_label=ONE_TIME,
+        timing_capacity: int = 10_000,
     ):
         if m_threshold <= 0:
             raise ValueError("m_threshold must be positive")
@@ -163,11 +165,13 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         self.rectified_admits = 0
         self.decisions = 0
         self.decision_seconds = 0.0
-        #: Monotonic (``time.perf_counter``) duration of every individual
-        #: decision, in trace order — the raw array behind the Eq.-6
-        #: ``t_classify`` percentiles in the serving metrics snapshot
-        #: (:func:`repro.server.metrics.admission_timing`).
-        self.decision_times: list[float] = []
+        #: Monotonic (``time.perf_counter``) per-decision durations behind
+        #: the Eq.-6 ``t_classify`` percentiles in the serving metrics
+        #: snapshot (:func:`repro.server.metrics.admission_timing`) — a
+        #: bounded :class:`~repro.obs.registry.Reservoir`, so a long
+        #: deployment keeps O(``timing_capacity``) memory while count,
+        #: mean and max stay exact.
+        self.decision_times = Reservoir(capacity=timing_capacity)
 
     @property
     def mean_decision_seconds(self) -> float:
@@ -180,7 +184,7 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         verdict = self.model.predict(x.reshape(1, -1))[0]
         elapsed = time.perf_counter() - t0
         self.decision_seconds += elapsed
-        self.decision_times.append(elapsed)
+        self.decision_times.add(elapsed)
         self.decisions += 1
         self.tracker.observe(index)
 

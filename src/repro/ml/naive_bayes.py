@@ -124,7 +124,6 @@ class CategoricalNB(BaseEstimator):
 
     def _joint_log_likelihood(self, Xi: np.ndarray) -> np.ndarray:
         n = Xi.shape[0]
-        k = self.classes_.shape[0]
         jll = np.tile(self.class_log_prior_, (n, 1))
         for j, table in enumerate(self.feature_log_prob_):
             col = np.minimum(Xi[:, j], table.shape[1] - 1)

@@ -1,0 +1,58 @@
+"""Observability for the serving stack: metrics, tracing, drift, logging.
+
+The substrate every benchmark and robustness change reports through:
+
+* :mod:`repro.obs.registry`  — dependency-free ``Counter``/``Gauge``/
+  ``Histogram`` (log-scale latency buckets) with labels, a bounded
+  :class:`~repro.obs.registry.Reservoir` for exact-count percentile
+  telemetry, and Prometheus text exposition.
+* :mod:`repro.obs.exporter`  — asyncio HTTP endpoint (``/metrics``,
+  ``/healthz``, ``/statsz``) running beside the TCP protocol
+  (``repro serve --metrics-port``).
+* :mod:`repro.obs.tracing`   — sampled ring-buffered per-decision event
+  log, drained via the TCP ``TRACE`` verb / ``repro trace-dump``.
+* :mod:`repro.obs.drift`     — live windowed admission-verdict quality
+  with matured labels, gauges, and a pluggable drift alarm (the
+  retrainer's observable trigger).
+* :mod:`repro.obs.structlog` — named stdlib loggers + JSON line
+  formatting shared with the trace-event dump.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and schemas.
+"""
+
+from repro.obs.drift import DriftMonitor
+from repro.obs.exporter import MetricsExporter
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Reservoir,
+    latency_buckets,
+)
+from repro.obs.structlog import (
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+    json_line,
+)
+from repro.obs.tracing import EVENT_FIELDS, DecisionTrace
+
+__all__ = [
+    "DriftMonitor",
+    "MetricsExporter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Reservoir",
+    "latency_buckets",
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "json_line",
+    "EVENT_FIELDS",
+    "DecisionTrace",
+]

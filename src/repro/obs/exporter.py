@@ -1,0 +1,181 @@
+"""Asyncio HTTP exporter: ``/metrics``, ``/healthz``, ``/statsz``.
+
+A minimal dependency-free HTTP/1.0-style server (every response closes
+the connection) that runs *alongside* the node's TCP protocol on its own
+port — scrapers never contend with the request path, and a wedged writer
+task still answers ``/healthz``.
+
+Endpoints
+---------
+``/metrics``
+    Prometheus text exposition (version 0.0.4) of the shared registry.
+``/healthz``
+    Liveness JSON: ``{"status": "ok", ...}`` from the pluggable health
+    callable (HTTP 503 + ``"status": "draining"`` once shutdown begins).
+``/statsz``
+    The *same* snapshot dict the TCP ``STATS`` verb returns, as JSON —
+    one code path (:func:`repro.server.metrics.metrics_snapshot`), so the
+    two surfaces can never disagree.
+
+Deliberately not a general web server: requests bigger than a few KB,
+non-GET/HEAD methods, and unknown paths are rejected; there is no
+keep-alive, TLS, or routing table to maintain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.structlog import get_logger
+
+__all__ = ["MetricsExporter"]
+
+logger = get_logger("obs.exporter")
+
+_MAX_REQUEST_LINE = 4096
+_MAX_HEADER_LINES = 64
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class MetricsExporter:
+    """Serve a registry (and optional stats/health callables) over HTTP.
+
+    ``statsz`` and ``healthz`` are zero-argument callables evaluated per
+    request; ``healthz`` may return ``(dict, status_code)`` to signal
+    not-ready states.
+    """
+
+    def __init__(
+        self,
+        registry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        statsz=None,
+        healthz=None,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._statsz = statsz
+        self._healthz = healthz
+        self._server: asyncio.AbstractServer | None = None
+        self._m_requests = registry.counter(
+            "repro_http_requests_total",
+            "Exporter HTTP requests by path and status code.",
+            ("path", "code"),
+        )
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "metrics exporter listening on %s:%d", self.host, self.port,
+            extra={"host": self.host, "port": self.port},
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------ handling
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path = await asyncio.wait_for(
+                    self._read_request(reader), timeout=10.0
+                )
+            except (ValueError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+                await self._respond(writer, "", 400, JSON_CONTENT_TYPE,
+                                    b'{"error":"bad request"}')
+                return
+            if method not in ("GET", "HEAD"):
+                await self._respond(writer, path, 405, JSON_CONTENT_TYPE,
+                                    b'{"error":"method not allowed"}')
+                return
+            status, ctype, body = self._route(path)
+            await self._respond(
+                writer, path, status, ctype, b"" if method == "HEAD" else body,
+                full_length=len(body),
+            )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str]:
+        line = await reader.readline()
+        if not line or len(line) > _MAX_REQUEST_LINE:
+            raise ValueError("bad request line")
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        for _ in range(_MAX_HEADER_LINES):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        path = target.split("?", 1)[0]
+        return method.upper(), path
+
+    def _route(self, path: str) -> tuple[int, str, bytes]:
+        try:
+            if path == "/metrics":
+                body = self.registry.render_prometheus().encode("utf-8")
+                return 200, PROMETHEUS_CONTENT_TYPE, body
+            if path == "/healthz":
+                payload = self._healthz() if self._healthz else {"status": "ok"}
+                status = 200
+                if isinstance(payload, tuple):
+                    payload, status = payload
+                return status, JSON_CONTENT_TYPE, _json_bytes(payload)
+            if path == "/statsz":
+                if self._statsz is None:
+                    return 404, JSON_CONTENT_TYPE, b'{"error":"no statsz source"}'
+                return 200, JSON_CONTENT_TYPE, _json_bytes(self._statsz())
+            return 404, JSON_CONTENT_TYPE, b'{"error":"not found"}'
+        except Exception:
+            logger.exception("exporter handler failed for %s", path)
+            return 500, JSON_CONTENT_TYPE, b'{"error":"internal error"}'
+
+    async def _respond(
+        self, writer, path, status, ctype, body, *, full_length=None
+    ) -> None:
+        if path:
+            self._m_requests.labels(path=path, code=status).inc()
+        length = len(body) if full_length is None else full_length
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {length}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _json_bytes(obj) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), default=str).encode("utf-8")

@@ -1,0 +1,90 @@
+"""Structured logging for the serving stack.
+
+Every server module logs through a named stdlib logger under the
+``repro`` hierarchy; :func:`configure_logging` (called by the CLI's
+``--log-level``/``--log-json`` flags) attaches a single handler at the
+root of that hierarchy.  The JSON formatter emits one object per line
+with the same compact encoding the decision-trace dump uses
+(:func:`json_line`), so server logs and trace events can be processed by
+the same tooling.
+
+Library use stays silent by default: without :func:`configure_logging`
+the loggers propagate to the (unconfigured) Python root logger exactly
+like any other library.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger", "json_line", "JsonLogFormatter"]
+
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not user context.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def json_line(obj: dict) -> str:
+    """One compact JSON object per line (shared with trace-event dumps)."""
+    return json.dumps(obj, separators=(",", ":"), default=str)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """``{"ts": ..., "level": ..., "logger": ..., "msg": ..., **extra}``.
+
+    Anything passed via ``logger.info(..., extra={...})`` is merged into
+    the object, which is how call sites attach structured context.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                out[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exc"] = self.formatException(record.exc_info)
+        return json_line(out)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent on the prefix)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "info", *, json_format: bool = False, stream=None
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger tree.
+
+    Idempotent: reconfiguring replaces the previously attached handler
+    (so tests and repeated CLI invocations don't stack duplicates).
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_format:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

@@ -3,7 +3,7 @@
 Turns the batch-simulation stack into a runnable service:
 
 * :mod:`repro.server.protocol`  — length-prefixed JSON wire format
-  (GET / STATS / RELOAD / RESET / PING).
+  (GET / STATS / RELOAD / RESET / TRACE / PING).
 * :mod:`repro.server.node`      — :class:`CacheNode` (single-writer cache
   state machine, micro-batched classifier inference) and
   :class:`CacheNodeServer` (asyncio TCP front end with a bounded request
@@ -15,7 +15,12 @@ Turns the batch-simulation stack into a runnable service:
 * :mod:`repro.server.loadgen`   — open-loop trace-replay client reporting
   achieved throughput and latency percentiles.
 
-CLI: ``repro serve`` / ``repro loadgen``.
+Observability (metrics registry, HTTP exporter, decision tracing, drift
+monitoring, structured logging) lives in :mod:`repro.obs` and is threaded
+through every piece above; ``repro serve --metrics-port`` exposes it.
+
+CLI: ``repro serve`` / ``repro loadgen`` / ``repro trace-dump`` /
+``repro stats --watch``.
 """
 
 from repro.server.loadgen import (

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.registry import latency_buckets
 from repro.server.metrics import timing_stats
 from repro.server.protocol import ProtocolError, read_message, write_message
 from repro.trace.records import Trace
@@ -190,8 +191,41 @@ async def fetch_stats(host: str, port: int) -> dict:
             pass
 
 
-async def run_loadgen(trace: Trace, cfg: LoadgenConfig) -> LoadgenResult:
-    """Replay ``trace`` positions ``[start, start+limit)`` open-loop."""
+def _publish(result: LoadgenResult, latencies: list[float], registry) -> None:
+    """Mirror a finished replay into a client-side metrics registry."""
+    sent = registry.counter(
+        "repro_loadgen_requests_total",
+        "Loadgen requests by outcome.",
+        ("outcome",),
+    )
+    sent.labels(outcome="completed").inc(result.completed)
+    sent.labels(outcome="error").inc(result.errors)
+    registry.counter(
+        "repro_loadgen_hits_total", "Client-observed cache hits."
+    ).inc(result.hits)
+    registry.gauge(
+        "repro_loadgen_achieved_rate",
+        "Achieved request rate of the last replay (req/s).",
+    ).set(result.achieved_rate)
+    hist = registry.histogram(
+        "repro_loadgen_latency_seconds",
+        "Client-observed service latency.",
+        buckets=latency_buckets(),
+    )
+    for lat in latencies:
+        hist.observe(lat)
+
+
+async def run_loadgen(
+    trace: Trace, cfg: LoadgenConfig, *, registry=None
+) -> LoadgenResult:
+    """Replay ``trace`` positions ``[start, start+limit)`` open-loop.
+
+    When ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) is
+    given, the finished replay is published into it as
+    ``repro_loadgen_*`` metrics — useful when the loadgen itself is being
+    scraped or its numbers belong next to the node's in one exposition.
+    """
     n = trace.n_accesses - cfg.start
     if cfg.limit is not None:
         n = min(n, cfg.limit)
@@ -221,6 +255,8 @@ async def run_loadgen(trace: Trace, cfg: LoadgenConfig) -> LoadgenResult:
     )
     result.duration_seconds = time.perf_counter() - t_wall
     result.latency = timing_stats(latencies)
+    if registry is not None:
+        _publish(result, latencies, registry)
     if cfg.fetch_stats:
         try:
             result.server_stats = await fetch_stats(cfg.host, cfg.port)

@@ -1,23 +1,28 @@
 """STATS snapshots for the serving node.
 
 :func:`metrics_snapshot` collapses the node's counters — cache statistics,
-admission verdicts, micro-batched ``t_classify`` timing, service latency —
-into one JSON-able dict (the STATS response body);
+admission verdicts, micro-batched ``t_classify`` timing, service latency,
+drift-monitor state and the full metrics-registry contents — into one
+JSON-able dict.  It is the *single* source for both observation surfaces:
+the TCP ``STATS`` verb and the HTTP ``/statsz`` endpoint call this same
+function, so the two can never disagree.
 :func:`format_metrics` renders it as an aligned table through
 :func:`repro.reporting.format_table`, so served numbers read exactly like
 the offline reports.
 
-Timing arrays are summarised as ``{count, mean, p50, p95, p99, max}`` in
-seconds via :func:`timing_stats` — the same helper works for the node's
-amortised batch timings and for
-:attr:`repro.core.online.OnlineClassifierAdmission.decision_times`
-(:func:`admission_timing`).
+Timing data is summarised as ``{count, mean, p50, p95, p99, max}`` in
+seconds via :func:`timing_stats`, which accepts either a raw array or a
+bounded :class:`~repro.obs.registry.Reservoir` (count/mean/max exact,
+percentiles from the retained sample).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.obs.registry import Reservoir
 from repro.reporting import format_table
 
 __all__ = [
@@ -31,7 +36,9 @@ _EMPTY = {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.
 
 
 def timing_stats(seconds) -> dict:
-    """Count/mean/percentiles (seconds) of a per-event timing array."""
+    """Count/mean/percentiles (seconds) of a timing array or reservoir."""
+    if isinstance(seconds, Reservoir):
+        return seconds.summary()
     arr = np.asarray(seconds, dtype=np.float64)
     if arr.size == 0:
         return dict(_EMPTY)
@@ -57,8 +64,6 @@ def metrics_snapshot(node, server=None) -> dict:
     Safe to call from the event loop at any time: every value is read from
     single-writer state between micro-batches.
     """
-    import time
-
     stats = node.stats
     snap = {
         "processed": node.processed,
@@ -77,12 +82,24 @@ def metrics_snapshot(node, server=None) -> dict:
         "rectified_admits": node.rectified_admits,
         "classifier": node.model is not None,
         "model_version": node.model_version,
-        "t_classify": timing_stats(node.classify_times()),
+        "t_classify": timing_stats(node.classify_timing),
     }
     cache = node.cache
     if hasattr(cache, "l1_hits"):
         snap["l1_hits"] = cache.l1_hits
         snap["l2_hits"] = cache.l2_hits
+    if node.drift is not None:
+        snap["drift"] = node.drift.snapshot()
+    if node.tracer is not None:
+        tracer = node.tracer
+        snap["trace"] = {
+            "sample_rate": tracer.sample_rate,
+            "capacity": tracer.capacity,
+            "seen": tracer.seen,
+            "sampled": tracer.sampled,
+            "buffered": len(tracer),
+            "dropped": tracer.dropped,
+        }
     if server is not None:
         snap["uptime_seconds"] = (
             time.perf_counter() - server.started_at if server.started_at else 0.0
@@ -94,6 +111,9 @@ def metrics_snapshot(node, server=None) -> dict:
             if server.retrainer.history:
                 last = server.retrainer.history[-1]
                 snap["worst_window_accuracy"] = last["worst_window_accuracy"]
+    # The registry's families last: identical numbers on the TCP STATS verb
+    # and the HTTP /statsz endpoint, bucket-for-bucket.
+    snap["metrics"] = node.registry.snapshot()
     return snap
 
 
@@ -136,6 +156,24 @@ def format_metrics(snap: dict) -> str:
                 "service latency (p50/p95/p99)",
                 f"{_fmt_seconds(lat['p50'])} / {_fmt_seconds(lat['p95'])} / "
                 f"{_fmt_seconds(lat['p99'])}",
+            ]
+        )
+    drift = snap.get("drift")
+    if drift:
+        if drift["last_accuracy"] is not None:
+            rows.append(
+                [
+                    "drift accuracy (last/worst)",
+                    f"{drift['last_accuracy']:.4f} / {drift['worst_accuracy']:.4f}",
+                ]
+            )
+        rows.append(["drift alarms", str(drift["alarms"])])
+    tr = snap.get("trace")
+    if tr:
+        rows.append(
+            [
+                "trace events (buffered/sampled)",
+                f"{tr['buffered']:,} / {tr['sampled']:,}",
             ]
         )
     if "retrains" in snap:

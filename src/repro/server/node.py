@@ -37,7 +37,7 @@ import asyncio
 import contextlib
 import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -52,6 +52,11 @@ from repro.core.labeling import ONE_TIME, one_time_labels, reaccess_distances
 from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.drift import DriftMonitor
+from repro.obs.exporter import MetricsExporter
+from repro.obs.registry import MetricsRegistry, Reservoir, latency_buckets
+from repro.obs.structlog import get_logger
+from repro.obs.tracing import DecisionTrace
 from repro.server.protocol import (
     ProtocolError,
     encode_message,
@@ -59,6 +64,8 @@ from repro.server.protocol import (
     read_message,
 )
 from repro.trace.records import Trace
+
+logger = get_logger("server.node")
 
 __all__ = [
     "NodeConfig",
@@ -92,6 +99,10 @@ class NodeConfig:
     min_train_samples: int = 50
     seed: int = 0
     max_batch: int = 256
+    #: Bound on every timing structure (t_classify / decision / service
+    #: latency reservoirs): O(timing_capacity) memory however long the
+    #: node runs, with exact counts and sampled percentiles.
+    timing_capacity: int = 10_000
 
     def resolve_capacity(self, trace: Trace) -> int:
         if (self.capacity_fraction is None) == (self.capacity_bytes is None):
@@ -193,9 +204,25 @@ class CacheNode:
     ascending run of trace positions starting at :attr:`processed` — the
     serving layer's sequencer guarantees that even when concurrent
     connections deliver requests out of order.
+
+    Observability: every node owns (or shares) a
+    :class:`~repro.obs.registry.MetricsRegistry` and keeps its counters in
+    lock-step with :attr:`stats` (incremented once per batch from the
+    stats deltas, so the hot loop stays unchanged).  An optional
+    :class:`~repro.obs.tracing.DecisionTrace` samples per-request events
+    and an optional :class:`~repro.obs.drift.DriftMonitor` scores matured
+    verdicts live.
     """
 
-    def __init__(self, trace: Trace, cfg: NodeConfig | None = None):
+    def __init__(
+        self,
+        trace: Trace,
+        cfg: NodeConfig | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: DecisionTrace | None = None,
+        drift: DriftMonitor | None = None,
+    ):
         self.trace = trace
         self.cfg = cfg if cfg is not None else NodeConfig()
         self._oid_list = trace.object_ids.tolist()
@@ -219,10 +246,58 @@ class CacheNode:
         self.stats = CacheStats()
         self.processed = 0
         self.denied_mask = np.zeros(trace.n_accesses, dtype=bool)
-        # Micro-batched t_classify telemetry: one (size, seconds) pair per
-        # inference batch; per-decision times are the amortised quotients.
-        self._classify_batch_sizes: list[int] = []
-        self._classify_batch_seconds: list[float] = []
+        # Micro-batched t_classify telemetry: each inference batch of n
+        # decisions contributes n amortised ``seconds / n`` observations to
+        # a bounded reservoir (exact count/mean/max, sampled percentiles).
+        self.classify_timing = Reservoir(
+            capacity=self.cfg.timing_capacity, seed=self.cfg.seed
+        )
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.drift = drift
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        reg = self.registry
+        requests = reg.counter(
+            "repro_requests_total", "Requests processed by result.", ("result",)
+        )
+        req_bytes = reg.counter(
+            "repro_bytes_total", "Requested bytes by result.", ("result",)
+        )
+        self._m_hits = requests.labels(result="hit")
+        self._m_misses = requests.labels(result="miss")
+        self._m_hit_bytes = req_bytes.labels(result="hit")
+        self._m_miss_bytes = req_bytes.labels(result="miss")
+        self._m_writes = reg.counter(
+            "repro_ssd_writes_total", "Objects written to the SSD tier."
+        )
+        self._m_write_bytes = reg.counter(
+            "repro_ssd_bytes_written_total", "Bytes written to the SSD tier."
+        )
+        self._m_evictions = reg.counter(
+            "repro_evictions_total", "Objects evicted from the cache."
+        )
+        verdicts = reg.counter(
+            "repro_admission_verdicts_total",
+            "Admission outcomes on misses (denied / rectified admits).",
+            ("verdict",),
+        )
+        self._m_denied = verdicts.labels(verdict="denied")
+        self._m_rectified = verdicts.labels(verdict="rectified")
+        self._m_classify = reg.histogram(
+            "repro_classify_seconds",
+            "Amortised per-decision classification time (Eq.-6 t_classify).",
+            buckets=latency_buckets(),
+        )
+        self._m_position = reg.gauge(
+            "repro_trace_position", "Replay cursor (requests processed)."
+        )
+        self._m_model_version = reg.gauge(
+            "repro_model_version", "Version of the installed classifier."
+        )
+        self._m_model_version.set(self.model_version)
 
     # ------------------------------------------------------------ telemetry
 
@@ -240,18 +315,16 @@ class CacheNode:
         return self._oid_list[index]
 
     def classify_times(self) -> np.ndarray:
-        """Amortised per-decision classification seconds, one per request.
+        """Retained amortised per-decision classification seconds.
 
         Each micro-batch contributes ``size`` equal entries of
         ``seconds / size`` — the per-decision cost actually paid under
         batched inference (the served analogue of
         :attr:`repro.core.online.OnlineClassifierAdmission.decision_times`).
+        Bounded by ``cfg.timing_capacity``; exact totals live on
+        :attr:`classify_timing`.
         """
-        if not self._classify_batch_sizes:
-            return np.empty(0)
-        sizes = np.asarray(self._classify_batch_sizes)
-        secs = np.asarray(self._classify_batch_seconds)
-        return np.repeat(secs / sizes, sizes)
+        return self.classify_timing.values()
 
     # ------------------------------------------------------------- mutation
 
@@ -264,20 +337,30 @@ class CacheNode:
         """
         self.model = model
         self.model_version += 1
+        self._m_model_version.set(self.model_version)
+        logger.info(
+            "installed model version %d", self.model_version,
+            extra={"model_version": self.model_version},
+        )
         return self.model_version
 
     def reset(self) -> None:
-        """Fresh cache/statistics state; the trained model is kept."""
+        """Fresh cache/statistics/telemetry state; the trained model is kept."""
         self.cache = build_cache(self.trace, self.cfg)
         self.stats = CacheStats()
         self.processed = 0
         self.denied_mask[:] = False
-        self._classify_batch_sizes.clear()
-        self._classify_batch_seconds.clear()
+        self.classify_timing.clear()
         if self.tracker is not None:
             self.tracker.reset()
         if self.history is not None:
             self.history.clear()
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.drift is not None:
+            self.drift.reset()
+        self.registry.reset()
+        self._m_model_version.set(self.model_version)
 
     def process_batch(self, indices: list[int]) -> list[dict]:
         """Apply a contiguous run of trace requests; returns GET responses.
@@ -299,6 +382,8 @@ class CacheNode:
         model = self.model  # single read: the retrainer swap point
         tracker = self.tracker
         verdicts = None
+        rows = None
+        t_classify = 0.0
         if model is not None and tracker is not None:
             t0 = time.perf_counter()
             rows = np.empty((n, len(tracker.feature_names)))
@@ -306,19 +391,30 @@ class CacheNode:
                 rows[row] = tracker.features(i)
                 tracker.observe(i)
             verdicts = model.predict(rows)
-            self._classify_batch_seconds.append(time.perf_counter() - t0)
-            self._classify_batch_sizes.append(n)
+            t_classify = (time.perf_counter() - t0) / n
+            self.classify_timing.add_repeated(t_classify, n)
+            self._m_classify.observe_many(t_classify, n)
+
+        stats = self.stats
+        hits0, bytes_hit0 = stats.hits, stats.bytes_hit
+        written0, bytes_written0 = stats.files_written, stats.bytes_written
+        denied0, evicted0 = stats.admissions_denied, stats.evictions
+        requests0, bytes_req0 = stats.requests, stats.bytes_requested
+        rectified0 = self.history.rectifications if self.history else 0
 
         cache = self.cache
         access = cache.access
         history = self.history
-        stats_record = self.stats.record
+        tracer = self.tracer
+        drift = self.drift
+        stats_record = stats.record
         m_threshold = self.criteria.m_threshold if self.criteria else 0.0
         oid_list, size_list = self._oid_list, self._size_list
         out = []
         for row, i in enumerate(indices):
             oid = oid_list[i]
             size = size_list[i]
+            rectified = False
             if oid in cache:
                 result = access(oid, size)
                 denied = False
@@ -327,6 +423,7 @@ class CacheNode:
                     admit = True
                 elif history.rectify(oid, i, m_threshold):
                     admit = True
+                    rectified = True
                 else:
                     history.record(oid, i)
                     admit = False
@@ -335,6 +432,22 @@ class CacheNode:
             stats_record(size, result, denied)
             if denied:
                 self.denied_mask[i] = True
+            if drift is not None:
+                drift.observe(i, oid, denied)
+            if tracer is not None and tracer.should_sample(i):
+                tracer.record(
+                    {
+                        "index": i,
+                        "object_id": oid,
+                        "trace_time": float(self._ts[i]),
+                        "hit": result.hit,
+                        "verdict": int(verdicts[row]) if verdicts is not None else None,
+                        "denied": denied,
+                        "rectified": rectified,
+                        "features": rows[row].tolist() if rows is not None else None,
+                        "t_classify": t_classify,
+                    }
+                )
             out.append(
                 {
                     "ok": True,
@@ -346,6 +459,23 @@ class CacheNode:
                 }
             )
         self.processed += n
+
+        # Registry counters advance by the batch's stats deltas: one inc per
+        # metric per batch keeps the request loop unchanged while STATS and
+        # /metrics can never drift apart.
+        hits_d = stats.hits - hits0
+        self._m_hits.inc(hits_d)
+        self._m_misses.inc(stats.requests - requests0 - hits_d)
+        hit_bytes_d = stats.bytes_hit - bytes_hit0
+        self._m_hit_bytes.inc(hit_bytes_d)
+        self._m_miss_bytes.inc(stats.bytes_requested - bytes_req0 - hit_bytes_d)
+        self._m_writes.inc(stats.files_written - written0)
+        self._m_write_bytes.inc(stats.bytes_written - bytes_written0)
+        self._m_evictions.inc(stats.evictions - evicted0)
+        self._m_denied.inc(stats.admissions_denied - denied0)
+        if self.history is not None:
+            self._m_rectified.inc(self.history.rectifications - rectified0)
+        self._m_position.set(self.processed)
         return out
 
 
@@ -354,9 +484,6 @@ class CacheNode:
 # --------------------------------------------------------------------------
 
 _SHUTDOWN = object()
-
-#: Service-latency samples retained for the STATS percentiles.
-_LATENCY_WINDOW = 200_000
 
 
 @dataclass
@@ -416,7 +543,13 @@ class CacheNodeServer:
       in micro-batches of at most ``cfg.max_batch``;
     * graceful drain — :meth:`shutdown` (also wired to SIGTERM/SIGINT by
       :func:`run_server`) stops accepting work, processes everything
-      already accepted, answers the stragglers with an error, then closes.
+      already accepted, answers the stragglers with an error, then closes;
+    * observability side-car — with ``metrics_port`` an HTTP
+      :class:`~repro.obs.exporter.MetricsExporter` serves ``/metrics``,
+      ``/healthz`` and ``/statsz`` on its own port, and with
+      ``retrain_on_drift`` a drift alarm from the node's monitor schedules
+      an immediate retrain (the observable trigger replacing the blind
+      schedule).
     """
 
     def __init__(
@@ -427,6 +560,9 @@ class CacheNodeServer:
         *,
         queue_depth: int = 1024,
         retrainer=None,
+        metrics_host: str = "127.0.0.1",
+        metrics_port: int | None = None,
+        retrain_on_drift: bool = False,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -434,16 +570,55 @@ class CacheNodeServer:
         self.host = host
         self.port = port
         self.retrainer = retrainer
+        self.retrain_on_drift = retrain_on_drift
         self._queue: asyncio.Queue = asyncio.Queue(queue_depth)
         self._pending: dict[int, _Request] = {}
         self._connections: set[_Connection] = set()
         self._server: asyncio.AbstractServer | None = None
         self._writer_task: asyncio.Task | None = None
         self._retrain_task: asyncio.Task | None = None
+        self._drift_retrain_task: asyncio.Task | None = None
+        self._drift_alarms_seen = 0
         self._draining = False
         self._closed = asyncio.Event()
         self.started_at = 0.0
-        self.service_latencies: list[float] = []
+        self.service_latencies = Reservoir(
+            capacity=node.cfg.timing_capacity, seed=node.cfg.seed + 1
+        )
+        reg = node.registry
+        self._m_latency = reg.histogram(
+            "repro_service_latency_seconds",
+            "Enqueue-to-response time inside the server.",
+            buckets=latency_buckets(),
+        )
+        self._m_queue = reg.gauge(
+            "repro_queue_depth", "Requests queued or awaiting sequencing."
+        )
+        self._m_connections = reg.gauge(
+            "repro_connections", "Open client connections."
+        )
+        self.exporter: MetricsExporter | None = None
+        if metrics_port is not None:
+            from repro.server.metrics import metrics_snapshot
+
+            self.exporter = MetricsExporter(
+                reg,
+                host=metrics_host,
+                port=metrics_port,
+                statsz=lambda: metrics_snapshot(self.node, self),
+                healthz=self._healthz,
+            )
+
+    def _healthz(self):
+        body = {
+            "status": "draining" if self._draining else "ok",
+            "processed": self.node.processed,
+            "trace_requests": self.node.trace.n_accesses,
+            "uptime_seconds": (
+                time.perf_counter() - self.started_at if self.started_at else 0.0
+            ),
+        }
+        return (body, 503) if self._draining else body
 
     # -------------------------------------------------------------- control
 
@@ -456,6 +631,8 @@ class CacheNodeServer:
         self._writer_task = asyncio.ensure_future(self._writer_loop())
         if self.retrainer is not None:
             self._retrain_task = asyncio.ensure_future(self.retrainer.run())
+        if self.exporter is not None:
+            await self.exporter.start()
 
     async def shutdown(self) -> None:
         """Drain in-flight requests, then stop.  Idempotent."""
@@ -463,19 +640,26 @@ class CacheNodeServer:
             await self._closed.wait()
             return
         self._draining = True
+        logger.info("draining: %d request(s) in flight", self.queue_depth)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         await self._queue.put(_SHUTDOWN)
         if self._writer_task is not None:
             await self._writer_task
-        if self._retrain_task is not None:
-            self._retrain_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._retrain_task
+        for task in (self._retrain_task, self._drift_retrain_task):
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+        if self.exporter is not None:
+            await self.exporter.stop()
         for conn in list(self._connections):
             await conn.close()
         self._closed.set()
+        logger.info(
+            "server closed after %d processed request(s)", self.node.processed
+        )
 
     async def wait_closed(self) -> None:
         await self._closed.wait()
@@ -545,16 +729,41 @@ class CacheNodeServer:
         try:
             results = self.node.process_batch([req.index for req in batch])
         except Exception as exc:  # defensive: fail the batch, keep serving
+            logger.exception("batch of %d request(s) failed", len(batch))
             for req in batch:
                 req.conn.send(error_response("GET", str(exc), index=req.index))
             return
         now = time.perf_counter()
         latencies = self.service_latencies
-        if len(latencies) >= _LATENCY_WINDOW:
-            del latencies[: _LATENCY_WINDOW // 2]
+        observe = self._m_latency.observe
         for req, res in zip(batch, results):
-            latencies.append(now - req.t_enqueue)
+            lat = now - req.t_enqueue
+            latencies.add(lat)
+            observe(lat)
             req.conn.send(res)
+        self._m_queue.set(self.queue_depth)
+        self._maybe_retrain_on_drift()
+
+    def _maybe_retrain_on_drift(self) -> None:
+        """Schedule an immediate retrain when the drift alarm has fired."""
+        drift = self.node.drift
+        if (
+            drift is None
+            or not self.retrain_on_drift
+            or self.retrainer is None
+            or drift.alarms <= self._drift_alarms_seen
+        ):
+            return
+        if self._drift_retrain_task is not None and not self._drift_retrain_task.done():
+            return  # one retrain in flight absorbs any alarm burst
+        self._drift_alarms_seen = drift.alarms
+        logger.warning(
+            "drift alarm -> scheduling retrain (window %s, accuracy %s)",
+            *(drift.last_alarm if drift.last_alarm else ("?", "?")),
+        )
+        self._drift_retrain_task = asyncio.ensure_future(
+            self.retrainer.retrain_now()
+        )
 
     # ---------------------------------------------------------- connections
 
@@ -563,6 +772,7 @@ class CacheNodeServer:
     ) -> None:
         conn = _Connection(writer)
         self._connections.add(conn)
+        self._m_connections.inc()
         try:
             while True:
                 try:
@@ -577,6 +787,7 @@ class CacheNodeServer:
             pass
         finally:
             self._connections.discard(conn)
+            self._m_connections.dec()
             await conn.close()
 
     async def _dispatch(self, message: dict, conn: _Connection) -> None:
@@ -591,12 +802,15 @@ class CacheNodeServer:
             )
         elif op == "PING":
             conn.send({"ok": True, "op": "PING"})
+        elif op == "TRACE":
+            self._dispatch_trace(message, conn)
         elif op == "RESET":
             if self.queue_depth:
                 conn.send(error_response("RESET", "requests still in flight"))
             else:
                 self.node.reset()
                 self.service_latencies.clear()
+                self._drift_alarms_seen = 0
                 conn.send({"ok": True, "op": "RESET"})
         elif op == "RELOAD":
             if self.retrainer is None:
@@ -606,6 +820,38 @@ class CacheNodeServer:
                 conn.send({"ok": True, "op": "RELOAD", **info})
         else:
             conn.send(error_response(op, f"unknown op {op!r}"))
+
+    def _dispatch_trace(self, message: dict, conn: _Connection) -> None:
+        tracer = self.node.tracer
+        if tracer is None:
+            conn.send(error_response("TRACE", "decision tracing disabled"))
+            return
+        limit = message.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+        ):
+            conn.send(
+                error_response("TRACE", "limit must be a non-negative integer")
+            )
+            return
+        seen, sampled, dropped = tracer.seen, tracer.sampled, tracer.dropped
+        # One frame drains at most 10k events (bounded response size); an
+        # omitted limit means "everything buffered" up to that cap.
+        events = tracer.events(
+            limit=10_000 if limit is None else min(limit, 10_000),
+            clear=bool(message.get("clear")),
+        )
+        conn.send(
+            {
+                "ok": True,
+                "op": "TRACE",
+                "events": events,
+                "seen": seen,
+                "sampled": sampled,
+                "dropped": dropped,
+                "sample_rate": tracer.sample_rate,
+            }
+        )
 
     async def _dispatch_get(self, message: dict, conn: _Connection) -> None:
         index = message.get("index")
@@ -644,12 +890,22 @@ async def run_server(
     *,
     queue_depth: int = 1024,
     retrainer=None,
+    metrics_host: str = "127.0.0.1",
+    metrics_port: int | None = None,
+    retrain_on_drift: bool = False,
     ready: asyncio.Event | None = None,
 ) -> CacheNodeServer:
     """Start a node server, wire SIGINT/SIGTERM to a graceful drain, and
     serve until shut down.  Returns the (closed) server for inspection."""
     server = CacheNodeServer(
-        node, host, port, queue_depth=queue_depth, retrainer=retrainer
+        node,
+        host,
+        port,
+        queue_depth=queue_depth,
+        retrainer=retrainer,
+        metrics_host=metrics_host,
+        metrics_port=metrics_port,
+        retrain_on_drift=retrain_on_drift,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -662,11 +918,19 @@ async def run_server(
             handled.append(sig)
         except (NotImplementedError, RuntimeError):  # non-unix loops
             pass
-    print(
-        f"repro cache node listening on {server.host}:{server.port} "
-        f"({node.trace.n_accesses:,} trace requests, "
-        f"classifier={'on' if node.model is not None else 'off'})",
-        flush=True,
+    logger.info(
+        "repro cache node listening on %s:%d (%s trace requests, "
+        "classifier=%s%s)",
+        server.host,
+        server.port,
+        format(node.trace.n_accesses, ","),
+        "on" if node.model is not None else "off",
+        (
+            f", metrics on {server.exporter.host}:{server.exporter.port}"
+            if server.exporter is not None
+            else ""
+        ),
+        extra={"port": server.port, "trace_requests": node.trace.n_accesses},
     )
     if ready is not None:
         ready.set()

@@ -15,6 +15,9 @@ Operations (client → server)
 ``STATS``   metrics snapshot (:mod:`repro.server.metrics`).
 ``RELOAD``  force an immediate classifier retrain + atomic model swap.
 ``RESET``   clear cache/statistics state and rewind the replay cursor.
+``TRACE``   drain sampled decision-trace events (``{"op": "TRACE",
+            "limit": n, "clear": bool}`` — both fields optional); errors
+            if the node was started without tracing.
 ``PING``    liveness check.
 
 Every response carries ``"ok"`` (bool) and echoes ``"op"``; GET responses
@@ -45,7 +48,7 @@ _HEADER = struct.Struct(">I")
 #: this limit indicates a corrupt or hostile frame, not a real message.
 MAX_MESSAGE_BYTES = 4 * 2**20
 
-OPS = ("GET", "STATS", "RELOAD", "RESET", "PING")
+OPS = ("GET", "STATS", "RELOAD", "RESET", "TRACE", "PING")
 
 
 class ProtocolError(ValueError):

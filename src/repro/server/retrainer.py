@@ -37,8 +37,11 @@ from repro.core.monitoring import evaluate_admission_decisions
 from repro.core.training import sample_per_minute
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.structlog import get_logger
 
 __all__ = ["RetrainerConfig", "Retrainer"]
+
+logger = get_logger("server.retrainer")
 
 DAY = 86400.0
 
@@ -78,6 +81,19 @@ class Retrainer:
         self._fm = extract_features(node.trace).select(PAPER_FEATURE_NAMES)
         self._rng = np.random.default_rng(node.cfg.seed)
         self.history: list[dict] = []
+        self._m_retrains = node.registry.counter(
+            "repro_retrains_total",
+            "Retrain attempts by outcome (trained=yes swapped a model in).",
+            ("trained",),
+        )
+        self._m_worst = node.registry.gauge(
+            "repro_retrain_worst_window_accuracy",
+            "Worst-window matured admission accuracy at the last retrain.",
+        )
+        self._m_train_rows = node.registry.gauge(
+            "repro_retrain_train_samples",
+            "Training rows selected for the last retrain attempt.",
+        )
 
     @property
     def retrains(self) -> int:
@@ -164,6 +180,24 @@ class Retrainer:
             acc = quality.accuracy[worst]
             if np.isfinite(acc):
                 record["worst_window_accuracy"] = float(acc)
+                self._m_worst.set(float(acc))
 
+        self._m_retrains.labels(trained="yes" if record["trained"] else "no").inc()
+        self._m_train_rows.set(record["n_train"])
+        logger.info(
+            "retrain at t=%.0f: trained=%s n_train=%d version=%d worst_acc=%s",
+            record["t_cut"],
+            record["trained"],
+            record["n_train"],
+            record["model_version"],
+            record["worst_window_accuracy"],
+            extra={
+                "t_cut": record["t_cut"],
+                "trained": record["trained"],
+                "n_train": record["n_train"],
+                "model_version": record["model_version"],
+                "worst_window_accuracy": record["worst_window_accuracy"],
+            },
+        )
         self.history.append(record)
         return record

@@ -220,6 +220,24 @@ class TestARC:
         ghost_bytes = c._b1_bytes + c._b2_bytes
         assert c.used_bytes + ghost_bytes <= 2 * c.capacity + 400
 
+    def test_replace_falls_back_when_t2_empty(self):
+        # Variable object sizes can leave t1_bytes <= p while T2 is empty,
+        # a state the unit-page ARC proof excludes; _replace must then
+        # evict from T1 instead of raising (hypothesis-found regression).
+        c = ARCCache(205)
+        stream = [
+            (2, 1, True),    # T1 = {2}
+            (3, 204, True),  # T1 = {2, 3}, cache full
+            (3, 204, True),  # 3 -> T2
+            (1, 1, True),    # evicts 2 -> B1
+            (2, 1, True),    # B1 ghost hit: p grows to 1; 3 evicted -> B2
+            (0, 205, True),  # needs two evictions; after T2 drains,
+        ]                    # t1_bytes == p must still evict from T1
+        for oid, size, admit in stream:
+            c.access(oid, size, admit=admit)
+        assert c.used_bytes <= c.capacity
+        assert 0 in c
+
 
 class TestLIRS:
     def test_rs_property(self):

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.criteria import Criteria, estimate_hit_rate, solve_criteria
+from repro.core.criteria import estimate_hit_rate, solve_criteria
 from repro.core.labeling import reaccess_distances
 
 

@@ -1,6 +1,5 @@
 """Tests for the latency model (Eqs. 3–6) and the end-to-end pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.config import LatencyConstants

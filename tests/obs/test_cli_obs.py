@@ -1,0 +1,163 @@
+"""CLI observability surfaces: ``stats --watch`` and ``trace-dump``.
+
+Both talk to a real node server running on a background thread's event
+loop, through the same code paths an operator would use.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.server.node import CacheNode, CacheNodeServer, NodeConfig
+
+CFG = NodeConfig(capacity_fraction=0.02)
+
+
+@pytest.fixture
+def live_server(tiny_trace):
+    """A served node (with tracing + metrics HTTP) on a background loop."""
+    from repro.obs.tracing import DecisionTrace
+
+    node = CacheNode(tiny_trace, CFG, tracer=DecisionTrace(capacity=100))
+    node.process_batch(list(range(50)))  # some traffic before serving
+    box = {}
+    started = threading.Event()
+
+    def runner():
+        async def go():
+            server = CacheNodeServer(node, port=0, metrics_port=0)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.wait_closed()
+
+        asyncio.run(go())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    yield node, box["server"]
+    asyncio.run_coroutine_threadsafe(
+        box["server"].shutdown(), box["loop"]
+    ).result(10)
+    thread.join(10)
+
+
+class TestStatsWatch:
+    def test_watch_renders_live_table(self, live_server, capsys):
+        node, server = live_server
+        rc = main(
+            [
+                "stats",
+                "--watch",
+                "--stats-port",
+                str(server.exporter.port),
+                "--iterations",
+                "2",
+                "--interval",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("replay 50/") == 2
+        assert "file hit rate" in out
+        assert "requests served" in out
+        assert "trace events (buffered/sampled)" in out
+
+    def test_watch_survives_unreachable_endpoint(self, capsys):
+        rc = main(
+            [
+                "stats",
+                "--watch",
+                "--stats-port",
+                "1",  # nothing listens there
+                "--iterations",
+                "2",
+                "--interval",
+                "0.01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # polling errors are reported, not fatal
+        assert "http://127.0.0.1:1/statsz" in out
+
+
+class TestTraceDump:
+    def test_dump_to_stdout(self, live_server, capsys):
+        node, server = live_server
+        rc = main(["trace-dump", "--port", str(server.port)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(events) == 50
+        assert [e["index"] for e in events] == list(range(50))
+        assert "50 event(s) dumped" in captured.err
+
+    def test_dump_limit_and_clear(self, live_server, capsys, tmp_path):
+        node, server = live_server
+        out_file = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "trace-dump",
+                "--port",
+                str(server.port),
+                "--limit",
+                "5",
+                "--clear",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        lines = out_file.read_text().splitlines()
+        assert [json.loads(line)["index"] for line in lines] == list(
+            range(45, 50)
+        )
+        assert len(node.tracer) == 0  # drained
+        # A second dump finds an empty buffer.
+        rc = main(["trace-dump", "--port", str(server.port)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == ""
+        assert "0 event(s) dumped" in captured.err
+
+    def test_dump_errors_when_tracing_disabled(self, tiny_trace, capsys):
+        node = CacheNode(tiny_trace, CFG)  # no tracer
+        box = {}
+        started = threading.Event()
+
+        def runner():
+            async def go():
+                server = CacheNodeServer(node, port=0)
+                await server.start()
+                box["server"] = server
+                box["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.wait_closed()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            rc = main(["trace-dump", "--port", str(box["server"].port)])
+        finally:
+            asyncio.run_coroutine_threadsafe(
+                box["server"].shutdown(), box["loop"]
+            ).result(10)
+            thread.join(10)
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "decision tracing disabled" in captured.err
+
+    def test_dump_unreachable_server_fails_cleanly(self, capsys):
+        rc = main(["trace-dump", "--port", "1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "trace-dump failed" in captured.err

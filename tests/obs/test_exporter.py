@@ -1,0 +1,230 @@
+"""HTTP exporter endpoints exercised with a raw asyncio client.
+
+No HTTP library on either side: the client below writes request bytes and
+parses the status line / headers by hand, which doubles as a check that
+the exporter emits well-formed HTTP/1.1.
+"""
+
+import asyncio
+import json
+
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.registry import MetricsRegistry
+
+
+async def http_get(port, target, method="GET", raw_request=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        request = (
+            raw_request
+            if raw_request is not None
+            else f"{method} {target} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+        )
+        writer.write(request)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def make_exporter(statsz=None, healthz=None):
+    reg = MetricsRegistry()
+    reg.counter("demo_total", "A demo counter.").inc(7)
+    return MetricsExporter(reg, port=0, statsz=statsz, healthz=healthz)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEndpoints:
+    def test_metrics(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/metrics")
+            finally:
+                await exp.stop()
+
+        status, headers, body = run(go())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        assert int(headers["content-length"]) == len(body)
+        assert b"demo_total 7\n" in body
+        assert b"# TYPE demo_total counter" in body
+
+    def test_healthz_default_and_custom(self):
+        async def go():
+            exp = make_exporter(healthz=lambda: ({"status": "draining"}, 503))
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/healthz")
+            finally:
+                await exp.stop()
+
+        status, _, body = run(go())
+        assert status == 503
+        assert json.loads(body) == {"status": "draining"}
+
+        async def go_default():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/healthz")
+            finally:
+                await exp.stop()
+
+        status, _, body = run(go_default())
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_statsz(self):
+        async def go():
+            exp = make_exporter(statsz=lambda: {"processed": 42, "nested": {"a": 1}})
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/statsz")
+            finally:
+                await exp.stop()
+
+        status, headers, body = run(go())
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert json.loads(body) == {"processed": 42, "nested": {"a": 1}}
+
+    def test_statsz_missing_is_404(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/statsz")
+            finally:
+                await exp.stop()
+
+        status, _, _ = run(go())
+        assert status == 404
+
+    def test_unknown_path_404(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/nope")
+            finally:
+                await exp.stop()
+
+        status, _, body = run(go())
+        assert status == 404
+        assert json.loads(body) == {"error": "not found"}
+
+    def test_post_rejected_405(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/metrics", method="POST")
+            finally:
+                await exp.stop()
+
+        status, _, _ = run(go())
+        assert status == 405
+
+    def test_head_sends_headers_only(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/metrics", method="HEAD")
+            finally:
+                await exp.stop()
+
+        status, headers, body = run(go())
+        assert status == 200
+        assert body == b""
+        assert int(headers["content-length"]) > 0
+
+    def test_malformed_request_line_400(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(
+                    exp.port, "", raw_request=b"garbage\r\n\r\n"
+                )
+            finally:
+                await exp.stop()
+
+        status, _, _ = run(go())
+        assert status == 400
+
+    def test_query_string_ignored(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/metrics?format=text")
+            finally:
+                await exp.stop()
+
+        status, _, body = run(go())
+        assert status == 200
+        assert b"demo_total" in body
+
+    def test_failing_handler_is_500_not_crash(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        async def go():
+            exp = make_exporter(statsz=boom)
+            await exp.start()
+            try:
+                first = await http_get(exp.port, "/statsz")
+                second = await http_get(exp.port, "/metrics")
+                return first, second
+            finally:
+                await exp.stop()
+
+        (status, _, body), (status2, _, _) = run(go())
+        assert status == 500
+        assert json.loads(body) == {"error": "internal error"}
+        assert status2 == 200  # server survived
+
+    def test_self_metric_counts_requests(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                await http_get(exp.port, "/metrics")
+                await http_get(exp.port, "/nope")
+                return exp.registry.get("repro_http_requests_total")
+            finally:
+                await exp.stop()
+
+        fam = run(go())
+        assert fam.labels(path="/metrics", code="200").value == 1
+        assert fam.labels(path="/nope", code="404").value == 1
+
+    def test_port_zero_picks_free_port(self):
+        async def go():
+            exp = make_exporter()
+            assert exp.port == 0
+            await exp.start()
+            port = exp.port
+            await exp.stop()
+            return port
+
+        assert run(go()) > 0

@@ -1,0 +1,50 @@
+"""Prometheus text-exposition golden test.
+
+The rendered output is compared byte-for-byte against a committed golden
+file — any formatting drift (bucket ordering, label escaping, integer
+formatting) shows up as a readable diff rather than a scraper failure.
+"""
+
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).with_name("golden_metrics.prom")
+
+
+def build_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    requests = reg.counter(
+        "repro_requests_total", "Requests served by result.", ("result",)
+    )
+    requests.labels(result="hit").inc(1200)
+    requests.labels(result="miss").inc(345)
+    reg.gauge("repro_trace_position", "Replay cursor.").set(1545)
+    reg.gauge("repro_temperature", "A float gauge.").set(36.75)
+    h = reg.histogram(
+        "repro_service_latency_seconds",
+        "Service latency.",
+        buckets=(0.001, 0.01, 0.1),
+    )
+    h.observe(0.0005)
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(5.0)
+    labelled = reg.histogram(
+        "repro_classify_seconds", "t_classify.", ("model",), buckets=(1e-6, 1e-5)
+    )
+    labelled.labels(model="v1").observe(2e-6)
+    escape = reg.counter(
+        "repro_weird_labels_total", 'Help with \\ and\nnewline.', ("path",)
+    )
+    escape.labels(path='/a"b\\c\nd').inc()
+    return reg
+
+
+def test_exposition_matches_golden_file():
+    rendered = build_registry().render_prometheus()
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_exposition_ends_with_newline():
+    assert build_registry().render_prometheus().endswith("\n")

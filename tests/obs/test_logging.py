@@ -1,0 +1,87 @@
+"""Structured logging: naming, JSON formatting, idempotent configuration."""
+
+import io
+import json
+import logging
+
+from repro.obs.structlog import (
+    ROOT_LOGGER,
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+def teardown_function(_fn):
+    # Leave the global logging tree as the suite found it.
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_prefixes_hierarchy(self):
+        assert get_logger("server.node").name == "repro.server.node"
+        assert get_logger("repro.obs").name == "repro.obs"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def test_level_and_stream(self):
+        buf = io.StringIO()
+        configure_logging("warning", stream=buf)
+        log = get_logger("t1")
+        log.info("hidden")
+        log.warning("shown")
+        out = buf.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        for _ in range(3):
+            configure_logging("info", stream=io.StringIO())
+        assert len(logging.getLogger(ROOT_LOGGER).handlers) == 1
+
+    def test_unknown_level_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+
+class TestJsonFormat:
+    def test_json_lines_with_extra_fields(self):
+        buf = io.StringIO()
+        configure_logging("info", json_format=True, stream=buf)
+        get_logger("t2").info("served %d", 5, extra={"port": 8642})
+        record = json.loads(buf.getvalue().strip())
+        assert record["msg"] == "served 5"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.t2"
+        assert record["port"] == 8642
+        assert isinstance(record["ts"], float)
+
+    def test_exception_included(self):
+        buf = io.StringIO()
+        handler = logging.StreamHandler(buf)
+        handler.setFormatter(JsonLogFormatter())
+        log = logging.getLogger("repro.t3")
+        log.addHandler(handler)
+        log.propagate = False
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("failed")
+        log.removeHandler(handler)
+        record = json.loads(buf.getvalue().strip())
+        assert record["msg"] == "failed"
+        assert "ValueError: boom" in record["exc"]
+
+    def test_non_serialisable_extra_is_stringified(self):
+        buf = io.StringIO()
+        configure_logging("info", json_format=True, stream=buf)
+        get_logger("t4").info("x", extra={"obj": object()})
+        record = json.loads(buf.getvalue().strip())
+        assert isinstance(record["obj"], str)

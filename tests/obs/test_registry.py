@@ -1,0 +1,207 @@
+"""Registry semantics: metric kinds, labels, buckets, reservoir bounds."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    Reservoir,
+    latency_buckets,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        child = h.labels()
+        # le=1 captures 0.5 and the boundary value 1.0 (le is inclusive).
+        assert child.cumulative() == [
+            (1.0, 2),
+            (2.0, 3),
+            (4.0, 4),
+            (math.inf, 5),
+        ]
+        assert child.count == 5
+        assert child.sum == pytest.approx(106.0)
+
+    def test_observe_many_matches_loop(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("a", buckets=(1.0, 2.0)).labels()
+        b = reg.histogram("b", buckets=(1.0, 2.0)).labels()
+        a.observe_many(1.5, 1000)
+        for _ in range(1000):
+            b.observe(1.5)
+        assert a.counts == b.counts
+        assert a.sum == pytest.approx(b.sum)
+        assert a.count == b.count
+
+    def test_non_increasing_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h2", buckets=(1.0, 1.0))
+
+    def test_latency_buckets_log_scale(self):
+        b = latency_buckets()
+        assert b[0] == pytest.approx(1e-6)
+        ratios = {b[i + 1] / b[i] for i in range(len(b) - 1)}
+        assert all(r == pytest.approx(2.0) for r in ratios)
+        with pytest.raises(ValueError):
+            latency_buckets(start=0.0)
+
+
+class TestLabels:
+    def test_children_are_independent(self):
+        fam = MetricsRegistry().counter("req_total", "", ("op", "code"))
+        fam.labels("GET", "200").inc()
+        fam.labels(op="GET", code="500").inc(3)
+        assert fam.labels("GET", "200").value == 1
+        assert fam.labels("GET", "500").value == 3
+
+    def test_label_cardinality_enforced(self):
+        fam = MetricsRegistry().counter("req_total", "", ("op",))
+        with pytest.raises(ValueError):
+            fam.labels("GET", "extra")
+        with pytest.raises(ValueError):
+            fam.labels(nope="x")
+        with pytest.raises(ValueError):
+            fam.labels("GET", op="GET")
+
+    def test_unlabelled_use_of_labelled_family_rejected(self):
+        fam = MetricsRegistry().counter("req_total", "", ("op",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_reserved_and_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", labelnames=("le",))
+        with pytest.raises(ValueError):
+            reg.counter("1bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "", ("k",))
+        b = reg.counter("x_total", "", ("k",))
+        assert a is b
+
+    def test_kind_or_labels_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("k",))
+
+    def test_reset_zeroes_but_keeps_families(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total")
+        h = reg.histogram("h", buckets=(1.0,))
+        c.inc(5)
+        h.observe(0.5)
+        reg.reset()
+        assert c.value == 0
+        assert h.labels().count == 0
+        assert reg.get("c_total") is c
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help", ("k",)).labels(k="v").inc(2)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c_total"]["values"][0] == {"labels": {"k": "v"}, "value": 2}
+        assert snap["h"]["values"][0]["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+
+
+class TestReservoir:
+    def test_bounded_with_exact_aggregates(self):
+        r = Reservoir(capacity=100, seed=1)
+        for i in range(100_000):
+            r.add(float(i))
+        assert r.retained == 100
+        assert len(r) == 100_000
+        assert r.count == 100_000
+        assert r.max_value == 99_999.0
+        assert r.min_value == 0.0
+        assert r.mean == pytest.approx(49_999.5)
+
+    def test_exact_below_capacity(self):
+        r = Reservoir(capacity=1000)
+        values = [random.Random(7).random() for _ in range(500)]
+        for v in values:
+            r.add(v)
+        assert sorted(r) == sorted(values)
+        s = r.summary()
+        assert s["count"] == 500
+        assert s["p50"] == pytest.approx(np.percentile(values, 50))
+        assert s["max"] == pytest.approx(max(values))
+
+    def test_uniformity(self):
+        """Retained sample mean tracks the stream mean (Algorithm R)."""
+        r = Reservoir(capacity=500, seed=3)
+        for i in range(50_000):
+            r.add(float(i))
+        assert r.values().mean() == pytest.approx(25_000, rel=0.15)
+
+    def test_add_repeated(self):
+        r = Reservoir(capacity=10)
+        r.add_repeated(2.0, 5000)
+        assert r.count == 5000
+        assert r.total == pytest.approx(10_000.0)
+        assert r.retained == 10
+
+    def test_clear_is_deterministic(self):
+        a = Reservoir(capacity=10, seed=9)
+        for i in range(1000):
+            a.add(float(i))
+        kept = list(a)
+        a.clear()
+        assert a.count == 0 and a.retained == 0
+        for i in range(1000):
+            a.add(float(i))
+        assert list(a) == kept
+
+    def test_empty_summary(self):
+        assert Reservoir().summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+            "p99": 0.0, "max": 0.0,
+        }
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Reservoir(capacity=0)

@@ -33,7 +33,7 @@ def trace_file(tmp_path_factory):
     return path
 
 
-def spawn_server(trace_file, *extra) -> tuple[subprocess.Popen, int]:
+def spawn_server(trace_file, *extra) -> tuple[subprocess.Popen, int, str]:
     env = dict(os.environ)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
@@ -54,17 +54,24 @@ def spawn_server(trace_file, *extra) -> tuple[subprocess.Popen, int]:
         stderr=subprocess.STDOUT,
         text=True,
     )
-    line = proc.stdout.readline()
-    match = re.search(r"listening on [\w.]+:(\d+)", line)
-    assert match, f"no ready line from server: {line!r}"
-    return proc, int(match.group(1))
+    # The ready line is a log record now, so other startup logs may precede
+    # it; scan until it appears (EOF means the server died at startup).
+    seen = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(f"no ready line from server; output: {seen!r}")
+        seen.append(line)
+        match = re.search(r"listening on [\w.]+:(\d+)", line)
+        if match and "metrics exporter" not in line:
+            return proc, int(match.group(1)), line
 
 
 def test_serve_loadgen_matches_offline_simulate(trace_file, capsys):
     trace = load_trace(trace_file)
     assert trace.n_accesses >= 9_000
 
-    proc, port = spawn_server(trace_file)
+    proc, port, _ = spawn_server(trace_file)
     try:
         rc = main(
             [
@@ -101,3 +108,44 @@ def test_serve_loadgen_matches_offline_simulate(trace_file, capsys):
     assert snap["files_written"] == ref.stats.files_written
     assert snap["bytes_written"] == ref.stats.bytes_written
     assert snap["admissions_denied"] == ref.stats.admissions_denied
+
+
+def test_serve_metrics_port_exposes_prometheus_and_health(trace_file):
+    import json
+    import urllib.request
+
+    proc, port, ready_line = spawn_server(trace_file, "--metrics-port", "0")
+    try:
+        match = re.search(r"metrics on [\w.]+:(\d+)", ready_line)
+        assert match, f"no metrics address in ready line: {ready_line!r}"
+        mport = int(match.group(1))
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/metrics", timeout=10
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = resp.read().decode("utf-8")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_service_latency_seconds histogram" in text
+        assert "repro_trace_position 0" in text
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/healthz", timeout=10
+        ) as resp:
+            assert resp.status == 200
+            health = json.loads(resp.read())
+        assert health["status"] == "ok"
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{mport}/statsz", timeout=10
+        ) as resp:
+            statsz = json.loads(resp.read())
+        assert statsz["processed"] == 0
+        assert "metrics" in statsz
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+    assert proc.returncode == 0
