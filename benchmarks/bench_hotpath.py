@@ -1,0 +1,94 @@
+"""Hot-path perf-regression harness: ns/decision for the admission stack.
+
+Dual-mode module:
+
+* **Script / CI**: ``python benchmarks/bench_hotpath.py [--quick]`` runs
+  :func:`repro.perf.hotpath.run_hotpath_bench`, prints the component
+  table, writes ``BENCH_hotpath.json`` (repo root by default) and exits
+  non-zero if the fast and reference admission paths ever disagree on a
+  single decision — or, outside ``--quick``, if the compiled tree misses
+  the 5× single-row speedup floor.
+* **pytest-benchmark suite**: collected like the other ``bench_*``
+  modules; runs quick mode and persists the table under ``results/``.
+
+``repro bench-hotpath`` exposes the same harness through the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.perf.hotpath import (
+        BenchError,
+        check_report,
+        format_report,
+        run_hotpath_bench,
+        write_report,
+    )
+except ImportError:  # script run without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.perf.hotpath import (
+        BenchError,
+        check_report,
+        format_report,
+        run_hotpath_bench,
+        write_report,
+    )
+
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_hotpath.json"
+
+
+def bench_hotpath(benchmark, capsys):
+    """pytest-benchmark entry: quick-mode measurement + parity assertion."""
+    from common import emit
+
+    report = benchmark.pedantic(
+        lambda: run_hotpath_bench(quick=True), rounds=1, iterations=1
+    )
+    check_report(report)  # exact decision parity, always
+    emit(capsys, "hotpath", format_report(report))
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Benchmark the per-miss admission hot path and assert "
+        "fast/reference decision parity."
+    )
+    ap.add_argument("--quick", action="store_true",
+                    help="small trace + short timing budgets (CI smoke mode)")
+    ap.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                    help="where to write BENCH_hotpath.json")
+    ap.add_argument("--objects", type=int, default=None,
+                    help="objects to synthesise (default: mode-dependent)")
+    ap.add_argument("--days", type=float, default=None)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="compiled single-row speedup floor "
+                         "(default: 5.0 full mode, 0 = unchecked in --quick)")
+    args = ap.parse_args(argv)
+
+    report = run_hotpath_bench(
+        objects=args.objects, days=args.days, seed=args.seed, quick=args.quick
+    )
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"[saved to {path}]")
+
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 0.0 if args.quick else 5.0
+    try:
+        check_report(report, min_speedup=min_speedup)
+    except BenchError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,22 @@ class CachePolicy(ABC):
         metadata (ghosts/history) is updated.
         """
 
+    def access_if_present(self, oid: int, size: int) -> "AccessResult | None":
+        """Process the request *iff* ``oid`` is resident, else ``None``.
+
+        The simulator's hot loop calls this on every request; a ``None``
+        return means "miss — ask admission, then call :meth:`access` with
+        the verdict".  The default implementation is the classic
+        membership-check-then-access pair (two hash lookups); policies
+        with a cheap resident-hit path (LRU, FIFO) override it with a
+        single-lookup version.  Implementations must not perform any
+        miss-side state transition — that still belongs to the subsequent
+        :meth:`access` call.
+        """
+        if oid in self:
+            return self.access(oid, size)
+        return None
+
     @property
     @abstractmethod
     def used_bytes(self) -> int:

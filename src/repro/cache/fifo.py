@@ -8,6 +8,9 @@ from repro.cache.base import AccessResult, CachePolicy
 
 __all__ = ["FIFOCache"]
 
+#: Shared frozen hit result — see the note in :mod:`repro.cache.lru`.
+_HIT = AccessResult(hit=True)
+
 
 class FIFOCache(CachePolicy):
     """FIFO — identical bookkeeping to LRU minus the hit promotion."""
@@ -17,10 +20,15 @@ class FIFOCache(CachePolicy):
         self._entries: OrderedDict[int, int] = OrderedDict()  # oid -> size
         self._used = 0
 
+    def access_if_present(self, oid: int, size: int) -> AccessResult | None:
+        # A FIFO hit has no side effects, so the peek is one lookup.
+        self._validate_request(size)
+        return _HIT if oid in self._entries else None
+
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
         if oid in self._entries:
-            return AccessResult(hit=True)
+            return _HIT
         if not admit or size > self.capacity:
             return AccessResult(hit=False)
         evicted = []

@@ -8,6 +8,10 @@ from repro.cache.base import AccessResult, CachePolicy
 
 __all__ = ["LRUCache"]
 
+#: ``AccessResult`` is frozen, so every hit can share one instance — the
+#: per-hit allocation would otherwise dominate the simulator's hot loop.
+_HIT = AccessResult(hit=True)
+
 
 class LRUCache(CachePolicy):
     """Classic LRU over an :class:`~collections.OrderedDict` (O(1) per op).
@@ -21,12 +25,21 @@ class LRUCache(CachePolicy):
         self._entries: OrderedDict[int, int] = OrderedDict()  # oid -> size
         self._used = 0
 
+    def access_if_present(self, oid: int, size: int) -> AccessResult | None:
+        # No exception-based probe: raising KeyError costs ~1 µs, which on
+        # miss-heavy streams (the admission regime) dwarfs the saved lookup.
+        self._validate_request(size)
+        if oid not in self._entries:
+            return None
+        self._entries.move_to_end(oid)
+        return _HIT
+
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
         entries = self._entries
         if oid in entries:
             entries.move_to_end(oid)
-            return AccessResult(hit=True)
+            return _HIT
         if not admit or size > self.capacity:
             return AccessResult(hit=False)
         evicted = []

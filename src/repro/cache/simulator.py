@@ -146,10 +146,14 @@ def simulate(
     else:
         should_admit = admission.should_admit
         on_hit = admission.on_hit
+        # access_if_present folds the membership probe into the hit-side
+        # update (one hash lookup for LRU/FIFO instead of the previous
+        # `oid in policy` + `access(oid, ...)` pair re-hashing the key).
+        access_if_present = policy.access_if_present
         for i, oid in enumerate(oid_list):
             size = size_list[i]
-            if oid in policy:
-                result = access(oid, size)
+            result = access_if_present(oid, size)
+            if result is not None:
                 on_hit(i, oid, size)
                 denied = False
             else:

@@ -13,6 +13,8 @@ Subcommands
 ``loadgen``     open-loop trace replay against a running ``serve`` node
 ``trace-dump``  drain a serving node's sampled decision-trace ring buffer
                 (the TCP ``TRACE`` verb) as JSON lines
+``bench-hotpath``  measure ns/decision through the admission hot path,
+                assert fast/reference parity, write ``BENCH_hotpath.json``
 
 All commands accept either ``--trace file.npz`` or generator parameters
 (``--objects``, ``--days``, ``--seed``).  ``serve`` and ``loadgen`` must be
@@ -161,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first LIMIT positions from --start")
     _add_log_args(p)
+
+    p = sub.add_parser(
+        "bench-hotpath",
+        help="benchmark the per-miss admission hot path (BENCH_hotpath.json)",
+    )
+    _add_trace_args(p)
+    p.add_argument("--quick", action="store_true",
+                   help="small trace + short timing budgets (CI smoke mode)")
+    p.add_argument("--output", default="BENCH_hotpath.json",
+                   help="report path (default: ./BENCH_hotpath.json)")
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="compiled single-row speedup floor (default: 5.0 in "
+                        "full mode, unchecked with --quick)")
 
     p = sub.add_parser(
         "trace-dump",
@@ -414,6 +429,38 @@ def _cmd_loadgen(args) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _cmd_bench_hotpath(args) -> int:
+    from repro.perf.hotpath import (
+        BenchError,
+        check_report,
+        format_report,
+        run_hotpath_bench,
+        write_report,
+    )
+
+    trace = load_trace(args.trace) if args.trace else None
+    # Without an explicit trace, let the harness pick its mode-dependent
+    # scale unless the generator knobs were changed from the CLI defaults.
+    objects = args.objects if args.objects != 25_000 else None
+    days = args.days if args.days != 9.0 else None
+    report = run_hotpath_bench(
+        trace=trace, objects=objects, days=days, seed=args.seed,
+        quick=args.quick,
+    )
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"[saved to {path}]")
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 0.0 if args.quick else 5.0
+    try:
+        check_report(report, min_speedup=min_speedup)
+    except BenchError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace_dump(args) -> int:
     import asyncio
 
@@ -470,6 +517,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "bench-hotpath": _cmd_bench_hotpath,
     "trace-dump": _cmd_trace_dump,
 }
 

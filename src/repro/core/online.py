@@ -11,9 +11,21 @@ time per object, a trailing one-minute request counter — and reproduces the
 offline feature matrix *exactly* (this equivalence is tested), which proves
 the offline evaluation does not leak future information.
 
+Hot path: the tracker executes a *precomputed feature plan*.  Catalog-
+derived columns (owner stats, photo type/size, upload time) are gathered
+into per-object Python lists once at construction; dynamic features
+(recency, age, hour, trailing-minute count) are computed inline from plain
+floats; :meth:`OnlineFeatureTracker.features_into` writes the vector into a
+caller-owned buffer, so the steady state allocates nothing and never
+touches a dict of bound methods or a NumPy scalar.
+
 :class:`OnlineClassifierAdmission` plugs the tracker + a fitted model +
-the history table into the simulator, and records per-decision wall time so
-the Eq.-6 ``t_classify`` term can be measured rather than assumed.
+the history table into the simulator.  By default it classifies through
+:func:`repro.ml.fastpath.fast_predictor` — the code-generated tree — and
+records per-decision wall time so the Eq.-6 ``t_classify`` term can be
+measured rather than assumed; ``use_fast_path=False`` keeps the reference
+``model.predict`` path (same verdicts, used by the parity harness), and
+``timing_capacity=0`` disables timing entirely for pure-throughput runs.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from repro.cache.base import AdmissionPolicy
 from repro.core.features import PAPER_FEATURE_NAMES
 from repro.core.history_table import HistoryTable
 from repro.core.labeling import ONE_TIME
+from repro.ml.fastpath import fast_predictor
 from repro.obs.registry import Reservoir
 from repro.trace.records import Trace
 
@@ -34,97 +47,137 @@ __all__ = ["OnlineFeatureTracker", "OnlineClassifierAdmission"]
 
 _TEN_MINUTES = 600.0
 _MAX_TIME_BUCKETS = 90 * 144
+_MAX_BUCKET = float(_MAX_TIME_BUCKETS - 1)
+
+# Feature plan op-codes (slots in the §3.2 feature set).
+_F_OWNER_AVG_VIEWS = 0
+_F_OWNER_ACTIVE_FRIENDS = 1
+_F_PHOTO_TYPE = 2
+_F_PHOTO_SIZE = 3
+_F_PHOTO_AGE = 4
+_F_RECENCY = 5
+_F_ACCESS_HOUR = 6
+_F_TERMINAL = 7
+_F_RECENT_REQUESTS = 8
+
+_FEATURE_CODES = {
+    "owner_avg_views": _F_OWNER_AVG_VIEWS,
+    "owner_active_friends": _F_OWNER_ACTIVE_FRIENDS,
+    "photo_type": _F_PHOTO_TYPE,
+    "photo_size": _F_PHOTO_SIZE,
+    "photo_age": _F_PHOTO_AGE,
+    "recency": _F_RECENCY,
+    "access_hour": _F_ACCESS_HOUR,
+    "terminal": _F_TERMINAL,
+    "recent_requests": _F_RECENT_REQUESTS,
+}
 
 
 class OnlineFeatureTracker:
     """Incrementally compute the §3.2 features, one request at a time.
 
     ``observe(index)`` must be called for *every* request in trace order
-    (hits included — recency depends on them); ``features(index)`` returns
-    the feature vector for the current request *before* it is recorded.
+    (hits included — recency depends on them); ``features(index)`` /
+    ``features_into(index, out)`` return the feature vector for the
+    current request *before* it is recorded.
+
+    Construction precomputes the feature *plan*: per-object catalog
+    columns are materialised as plain Python lists (a list index is ~10×
+    cheaper than a NumPy scalar extraction), and each configured feature
+    becomes one ``(slot, code)`` pair dispatched through a flat
+    ``if``/``elif`` chain — no dict of bound methods, no per-request
+    ndarray allocation.
     """
 
     def __init__(self, trace: Trace, feature_names=PAPER_FEATURE_NAMES):
         self.trace = trace
         self.feature_names = tuple(feature_names)
-        self._ts = trace.timestamps
-        self._oids = trace.object_ids
-        self._terminal = trace.accesses["terminal"]
-        self._catalog = trace.catalog
-        self._last_access: dict[int, float] = {}
-        self._recent: deque[float] = deque()
-        self._builders = {
-            "owner_avg_views": self._owner_avg_views,
-            "owner_active_friends": self._owner_active_friends,
-            "photo_type": self._photo_type,
-            "photo_size": self._photo_size,
-            "photo_age": self._photo_age,
-            "recency": self._recency,
-            "access_hour": self._access_hour,
-            "terminal": self._terminal_of,
-            "recent_requests": self._recent_requests,
-        }
-        unknown = set(self.feature_names) - set(self._builders)
+        unknown = set(self.feature_names) - set(_FEATURE_CODES)
         if unknown:
             raise ValueError(f"unknown features: {sorted(unknown)}")
-
-    # ------------------------------------------------------ feature pieces
-
-    @staticmethod
-    def _bucket(seconds: float) -> float:
-        b = int(max(seconds, 0.0) // _TEN_MINUTES)
-        return float(min(b, _MAX_TIME_BUCKETS - 1))
-
-    def _owner_avg_views(self, i, oid):
-        return float(self.trace.owner_avg_views[self._catalog["owner_id"][oid]])
-
-    def _owner_active_friends(self, i, oid):
-        return float(
-            self.trace.owner_active_friends[self._catalog["owner_id"][oid]]
+        self._plan = tuple(
+            (slot, _FEATURE_CODES[name])
+            for slot, name in enumerate(self.feature_names)
         )
 
-    def _photo_type(self, i, oid):
-        return float(self._catalog["photo_type"][oid])
+        # Per-access columns (trace order) as plain Python scalars.
+        self._ts_list = trace.timestamps.tolist()
+        self._oid_list = trace.object_ids.tolist()
+        self._terminal_list = (
+            trace.accesses["terminal"].astype(np.float64).tolist()
+        )
 
-    def _photo_size(self, i, oid):
-        return float(self._catalog["size"][oid])
+        # Per-object catalog columns, gathered once (indexed by oid).
+        catalog = trace.catalog
+        self._col_owner_avg_views = (
+            trace.owner_avg_views[catalog["owner_id"]].astype(np.float64).tolist()
+        )
+        self._col_owner_active_friends = (
+            trace.owner_active_friends[catalog["owner_id"]]
+            .astype(np.float64)
+            .tolist()
+        )
+        self._col_photo_type = catalog["photo_type"].astype(np.float64).tolist()
+        self._col_size = catalog["size"].astype(np.float64).tolist()
+        self._col_upload = catalog["upload_time"].astype(np.float64).tolist()
 
-    def _photo_age(self, i, oid):
-        return self._bucket(self._ts[i] - self._catalog["upload_time"][oid])
-
-    def _recency(self, i, oid):
-        last = self._last_access.get(oid)
-        if last is None:
-            last = self._catalog["upload_time"][oid]
-        return self._bucket(self._ts[i] - last)
-
-    def _access_hour(self, i, oid):
-        return float(int((self._ts[i] % 86400.0) // 3600.0))
-
-    def _terminal_of(self, i, oid):
-        return float(self._terminal[i])
-
-    def _recent_requests(self, i, oid):
-        t = self._ts[i]
-        recent = self._recent
-        while recent and recent[0] < t - 60.0:
-            recent.popleft()
-        return float(len(recent))
+        # Running state.
+        self._last_access: dict[int, float] = {}
+        self._recent: deque[float] = deque()
 
     # -------------------------------------------------------------- public
 
+    def features_into(self, index: int, out):
+        """Write the feature vector for ``index`` into ``out`` and return it.
+
+        ``out`` is any mutable indexable of length ``len(feature_names)``
+        (a plain list is fastest); nothing is allocated.  The request must
+        not yet have been ``observe``-d.
+        """
+        oid = self._oid_list[index]
+        t = self._ts_list[index]
+        for slot, code in self._plan:
+            if code == _F_RECENCY:
+                last = self._last_access.get(oid)
+                if last is None:
+                    last = self._col_upload[oid]
+                d = t - last
+                b = float(int(d // _TEN_MINUTES)) if d > 0.0 else 0.0
+                out[slot] = b if b < _MAX_BUCKET else _MAX_BUCKET
+            elif code == _F_PHOTO_AGE:
+                d = t - self._col_upload[oid]
+                b = float(int(d // _TEN_MINUTES)) if d > 0.0 else 0.0
+                out[slot] = b if b < _MAX_BUCKET else _MAX_BUCKET
+            elif code == _F_OWNER_AVG_VIEWS:
+                out[slot] = self._col_owner_avg_views[oid]
+            elif code == _F_ACCESS_HOUR:
+                out[slot] = float(int((t % 86400.0) // 3600.0))
+            elif code == _F_PHOTO_TYPE:
+                out[slot] = self._col_photo_type[oid]
+            elif code == _F_PHOTO_SIZE:
+                out[slot] = self._col_size[oid]
+            elif code == _F_OWNER_ACTIVE_FRIENDS:
+                out[slot] = self._col_owner_active_friends[oid]
+            elif code == _F_TERMINAL:
+                out[slot] = self._terminal_list[index]
+            else:  # _F_RECENT_REQUESTS
+                recent = self._recent
+                cutoff = t - 60.0
+                while recent and recent[0] < cutoff:
+                    recent.popleft()
+                out[slot] = float(len(recent))
+        return out
+
     def features(self, index: int) -> np.ndarray:
         """Feature vector for the request at ``index`` (not yet observed)."""
-        oid = int(self._oids[index])
         return np.array(
-            [self._builders[name](index, oid) for name in self.feature_names]
+            self.features_into(index, [0.0] * len(self.feature_names))
         )
 
     def observe(self, index: int) -> None:
         """Record the request at ``index`` into the running state."""
-        oid = int(self._oids[index])
-        t = float(self._ts[index])
-        self._last_access[oid] = t
+        t = self._ts_list[index]
+        self._last_access[self._oid_list[index]] = t
         self._recent.append(t)
 
     def reset(self) -> None:
@@ -141,6 +194,21 @@ class OnlineClassifierAdmission(AdmissionPolicy):
     time and accumulates the measured per-decision latency
     (:attr:`mean_decision_seconds` — the empirical ``t_classify``).
 
+    Parameters beyond the model/tracker/threshold triple:
+
+    * ``use_fast_path`` (default on) — classify through
+      :func:`repro.ml.fastpath.fast_predictor` (compiled tree +
+      ``features_into`` into a reused buffer).  Off = the reference
+      ``tracker.features(i)`` → ``model.predict`` path; verdicts are
+      identical either way (asserted by the perf harness).
+    * ``timing_capacity`` — reservoir bound for per-decision latencies;
+      ``0`` disables timing *entirely* (no ``perf_counter`` calls on the
+      hot path) for pure-throughput runs.
+
+    The timed span covers exactly feature construction + prediction on
+    both paths; history-table rectification and ``observe`` stay outside,
+    so fast and reference timings are comparable.
+
     Note: ``observe`` must see *every* request, so this policy relies on the
     simulator's ``on_hit`` callback as well as ``should_admit``.
     """
@@ -153,14 +221,19 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         history_table: HistoryTable | None = None,
         pos_label=ONE_TIME,
         timing_capacity: int = 10_000,
+        use_fast_path: bool = True,
     ):
         if m_threshold <= 0:
             raise ValueError("m_threshold must be positive")
+        if timing_capacity < 0:
+            raise ValueError("timing_capacity must be >= 0")
         self.model = model
         self.tracker = tracker
         self.m_threshold = float(m_threshold)
         self.history = history_table if history_table is not None else HistoryTable(1024)
         self.pos_label = pos_label
+        self.use_fast_path = bool(use_fast_path)
+        self.timing_enabled = timing_capacity > 0
         self.denied = 0
         self.rectified_admits = 0
         self.decisions = 0
@@ -170,21 +243,60 @@ class OnlineClassifierAdmission(AdmissionPolicy):
         #: snapshot (:func:`repro.server.metrics.admission_timing`) — a
         #: bounded :class:`~repro.obs.registry.Reservoir`, so a long
         #: deployment keeps O(``timing_capacity``) memory while count,
-        #: mean and max stay exact.
-        self.decision_times = Reservoir(capacity=timing_capacity)
+        #: mean and max stay exact.  Empty when timing is disabled.
+        self.decision_times = Reservoir(capacity=max(1, timing_capacity))
+        if self.use_fast_path:
+            self._predict_one = fast_predictor(model).predict_one
+            self._buf = [0.0] * len(tracker.feature_names)
+            self._classify = (
+                self._classify_fast_timed
+                if self.timing_enabled
+                else self._classify_fast
+            )
+        else:
+            self._classify = (
+                self._classify_reference_timed
+                if self.timing_enabled
+                else self._classify_reference
+            )
 
     @property
     def mean_decision_seconds(self) -> float:
         """Measured per-miss classification time (the Eq.-6 t_classify)."""
         return self.decision_seconds / self.decisions if self.decisions else 0.0
 
-    def should_admit(self, index: int, oid: int, size: int) -> bool:
+    # ---------------------------------------------------- classify variants
+
+    def _classify_fast(self, index: int):
+        return self._predict_one(self.tracker.features_into(index, self._buf))
+
+    def _classify_fast_timed(self, index: int):
+        t0 = time.perf_counter()
+        verdict = self._predict_one(
+            self.tracker.features_into(index, self._buf)
+        )
+        elapsed = time.perf_counter() - t0
+        self.decision_seconds += elapsed
+        self.decision_times.add(elapsed)
+        return verdict
+
+    def _classify_reference(self, index: int):
+        x = self.tracker.features(index)
+        return self.model.predict(x.reshape(1, -1))[0]
+
+    def _classify_reference_timed(self, index: int):
         t0 = time.perf_counter()
         x = self.tracker.features(index)
         verdict = self.model.predict(x.reshape(1, -1))[0]
         elapsed = time.perf_counter() - t0
         self.decision_seconds += elapsed
         self.decision_times.add(elapsed)
+        return verdict
+
+    # -------------------------------------------------------------- public
+
+    def should_admit(self, index: int, oid: int, size: int) -> bool:
+        verdict = self._classify(index)
         self.decisions += 1
         self.tracker.observe(index)
 

@@ -37,6 +37,11 @@ from repro.ml.logistic import LogisticRegression
 from repro.ml.neural_net import MLPClassifier
 from repro.ml.gbdt import GradientBoostingClassifier, RegressionTree
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
+from repro.ml.fastpath import (
+    CompiledPredictor,
+    compile_tree_arrays,
+    fast_predictor,
+)
 from repro.ml.feature_selection import (
     information_gain,
     greedy_forward_selection,
@@ -78,6 +83,9 @@ __all__ = [
     "MLPClassifier",
     "GradientBoostingClassifier",
     "RegressionTree",
+    "CompiledPredictor",
+    "compile_tree_arrays",
+    "fast_predictor",
     "CostMatrix",
     "CostSensitiveClassifier",
     "information_gain",

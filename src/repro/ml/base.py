@@ -80,6 +80,16 @@ class BaseEstimator:
     def predict(self, X) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def predict_one(self, x):
+        """Scalar verdict for a single feature vector.
+
+        The generic implementation pays the full batch machinery for one
+        row; hot-path estimators (the CART tree, the cost-sensitive
+        wrapper) override it with allocation-free walks, and
+        :func:`repro.ml.fastpath.fast_predictor` picks the best available.
+        """
+        return self.predict(np.asarray(x, dtype=np.float64).reshape(1, -1))[0]
+
     def score(self, X, y) -> float:
         """Mean accuracy on the given test data."""
         y = np.asarray(y)

@@ -192,3 +192,57 @@ class CostSensitiveClassifier(BaseEstimator):
         positive = proba[:, pos_col] >= self.cost_matrix.optimal_threshold
         out = np.where(positive, self.pos_label, neg)
         return out.astype(self.classes_.dtype)
+
+    # -------------------------------------------------- single-row hot path
+
+    def predict_one(self, x):
+        """Single-row verdict, exactly matching ``predict(x[None, :])[0]``.
+
+        Reweighting delegates to the wrapped estimator's own fast path;
+        thresholding applies the Elkan posterior shift to a single-row
+        ``predict_proba`` (using the estimator's allocation-light
+        ``predict_proba_one`` when it has one).
+        """
+        self._check_fitted()
+        if self.method == "reweight":
+            return self.model_.predict_one(x)
+        proba_one = getattr(self.model_, "predict_proba_one", None)
+        if proba_one is not None:
+            proba = proba_one(x)
+        else:
+            proba = self.model_.predict_proba(
+                np.asarray(x, dtype=np.float64).reshape(1, -1)
+            )[0]
+        pos_col = int(np.nonzero(self.model_.classes_ == self.pos_label)[0][0])
+        neg = self.classes_[self.classes_ != self.pos_label][0]
+        if proba[pos_col] >= self.cost_matrix.optimal_threshold:
+            return self.pos_label
+        return neg
+
+    def compile_predictor(self):
+        """Compile the fitted wrapper into fast exact-parity functions.
+
+        With a decision-tree base the whole decision rule — including the
+        thresholding method's posterior shift — is baked into the
+        code-generated tree (each leaf's label is precomputed under the
+        cost rule), so one compiled call replaces proba + threshold +
+        relabel.  Non-tree bases fall back to the generic fast wrapper.
+        """
+        from repro.ml.fastpath import _wrap_generic, fast_predictor
+
+        self._check_fitted()
+        inner = self.model_
+        if self.method == "reweight":
+            return fast_predictor(inner)
+        if hasattr(inner, "value_") and hasattr(inner, "compile_predictor"):
+            pos_col = int(np.nonzero(inner.classes_ == self.pos_label)[0][0])
+            neg = self.classes_[self.classes_ != self.pos_label][0]
+            dist = inner.value_
+            totals = dist.sum(axis=1)
+            totals[totals == 0] = 1.0
+            p_pos = dist[:, pos_col] / totals
+            labels = np.where(
+                p_pos >= self.cost_matrix.optimal_threshold, self.pos_label, neg
+            ).astype(self.classes_.dtype)
+            return inner.compile_predictor(leaf_labels=labels)
+        return _wrap_generic(self)

@@ -202,6 +202,7 @@ class DecisionTreeClassifier(BaseEstimator):
         self.feature_importances_ = (
             importances / total_imp if total_imp > 0 else importances
         )
+        self._walk_plan = None  # predict_one cache — rebuild lazily
         return self
 
     def _best_split(
@@ -324,6 +325,85 @@ class DecisionTreeClassifier(BaseEstimator):
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
+    # -------------------------------------------------- single-row hot path
+
+    def _node_labels(self) -> np.ndarray:
+        """Per-node majority label (what each node reports as a leaf)."""
+        return self.classes_[np.argmax(self.value_, axis=1)]
+
+    def _single_plan(self) -> tuple:
+        """Flattened tree as plain Python lists — the zero-overhead walk.
+
+        NumPy scalar indexing costs ~10× a list lookup, so the per-miss
+        path (:meth:`predict_one`) walks cached ``tolist()`` copies.  The
+        cache is invalidated by :meth:`fit` and rebuilt lazily.
+        """
+        plan = getattr(self, "_walk_plan", None)
+        if plan is None:
+            plan = (
+                self.feature_.tolist(),
+                self.threshold_.tolist(),
+                self.children_left_.tolist(),
+                self.children_right_.tolist(),
+                self._node_labels().tolist(),
+            )
+            self._walk_plan = plan
+        return plan
+
+    def predict_one(self, x):
+        """Verdict for a single row — iterative walk, zero allocation.
+
+        ``x`` may be any indexable of at least ``n_features_in_`` floats
+        (list, tuple, 1-D array).  Exactly equivalent to
+        ``predict(x.reshape(1, -1))[0]`` at a fraction of the cost; no
+        validation is performed — this is the per-miss hot path.
+        """
+        self._check_fitted()
+        feature, threshold, left, right, labels = self._single_plan()
+        node = 0
+        f = feature[0]
+        while f >= 0:
+            node = left[node] if x[f] <= threshold[node] else right[node]
+            f = feature[node]
+        return labels[node]
+
+    def predict_proba_one(self, x) -> np.ndarray:
+        """Class distribution at the leaf ``x`` lands in (single row)."""
+        self._check_fitted()
+        feature, threshold, left, right, _ = self._single_plan()
+        node = 0
+        f = feature[0]
+        while f >= 0:
+            node = left[node] if x[f] <= threshold[node] else right[node]
+            f = feature[node]
+        dist = self.value_[node]
+        total = dist.sum()
+        return dist / total if total > 0 else dist
+
+    def compile_predictor(self, leaf_labels=None):
+        """Code-generate this fitted tree into native Python functions.
+
+        Returns a :class:`~repro.ml.fastpath.CompiledPredictor` whose
+        ``predict_one`` is nested ``if``/``else`` source (one float
+        comparison per level, ≥5× faster than the batch path on single
+        rows) and whose ``predict`` is the vectorised ``numpy.where``
+        twin.  ``leaf_labels`` overrides the per-node labels, letting
+        cost-sensitive wrappers bake their decision rule into the code.
+        """
+        from repro.ml.fastpath import compile_tree_arrays
+
+        self._check_fitted()
+        if leaf_labels is None:
+            leaf_labels = self._node_labels()
+        return compile_tree_arrays(
+            self.feature_,
+            self.threshold_,
+            self.children_left_,
+            self.children_right_,
+            leaf_labels,
+            out_dtype=self.classes_.dtype,
+        )
+
     # ------------------------------------------------------------ inspection
 
     def get_depth(self) -> int:
@@ -417,6 +497,7 @@ class DecisionTreeClassifier(BaseEstimator):
                 out.children_right_[new] = remap[int(self.children_right_[old])]
         out.node_count_ = k
         out.n_splits_ = int(np.sum(out.feature_ != _LEAF))
+        out._walk_plan = None  # the deepcopy'd cache describes the old tree
         return out
 
     def export_text(

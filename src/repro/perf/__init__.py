@@ -1,0 +1,24 @@
+"""Performance measurement harnesses for the hot decision path.
+
+:mod:`repro.perf.hotpath` benchmarks every layer of the per-miss
+admission stack (feature tracker, tree inference, end-to-end admission),
+asserts exact decision parity between the fast and reference paths, and
+writes the ``BENCH_hotpath.json`` trajectory file consumed by CI and the
+performance docs.
+"""
+
+from repro.perf.hotpath import (
+    BenchError,
+    check_report,
+    format_report,
+    run_hotpath_bench,
+    write_report,
+)
+
+__all__ = [
+    "BenchError",
+    "check_report",
+    "format_report",
+    "run_hotpath_bench",
+    "write_report",
+]

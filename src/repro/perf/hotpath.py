@@ -1,0 +1,325 @@
+"""The hot-path perf-regression harness behind ``repro bench-hotpath``.
+
+Measures ns/decision for each layer of the per-miss admission stack —
+feature construction, single-row tree inference, end-to-end admission —
+for both the *reference* path (dict-dispatch tracker +
+``model.predict(x.reshape(1, -1))[0]``) and the *fast* path
+(:meth:`~repro.core.online.OnlineFeatureTracker.features_into` +
+:func:`~repro.ml.fastpath.fast_predictor`), and verifies the two paths
+make **bit-identical admission decisions** over a full trace replay.
+
+The report is written as ``BENCH_hotpath.json``:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench_hotpath/v1",
+      "quick": false,
+      "trace": {"objects": ..., "requests": ..., "seed": ...},
+      "components": {
+        "<component>": {"ns_per_op": ..., "ops": ...,
+                         "speedup_vs_reference": ...}
+      },
+      "parity": {"requests": ..., "identical": true, ...},
+      "t_classify_us": {"fast": ..., "reference": ..., "paper": 0.4}
+    }
+
+``components`` is the schema contract: each entry maps a component name to
+``{ns_per_op, ops, speedup_vs_reference}`` where the speedup is measured
+against that component's ``*_reference`` twin (reference rows carry 1.0).
+:func:`check_report` is the CI gate — parity must hold always, and outside
+``--quick`` the compiled single-row classifier must clear the 5× floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.lru import LRUCache
+from repro.cache.simulator import simulate
+from repro.core.criteria import solve_criteria
+from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+from repro.core.history_table import HistoryTable
+from repro.core.labeling import one_time_labels, reaccess_distances
+from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
+from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
+from repro.ml.fastpath import fast_predictor
+from repro.ml.tree import DecisionTreeClassifier
+from repro.trace.generator import WorkloadConfig, generate_trace
+from repro.trace.records import Trace
+
+__all__ = [
+    "BenchError",
+    "run_hotpath_bench",
+    "check_report",
+    "format_report",
+    "write_report",
+]
+
+SCHEMA = "repro.bench_hotpath/v1"
+PAPER_T_CLASSIFY_US = 0.4
+
+#: Default scales: full mode targets the acceptance floor of a ≥100k-request
+#: parity replay; quick mode is the CI smoke size.
+FULL_OBJECTS, FULL_DAYS = 27_000, 10.0
+QUICK_OBJECTS, QUICK_DAYS = 4_000, 2.0
+
+
+class BenchError(AssertionError):
+    """A hot-path invariant (parity or speedup floor) failed."""
+
+
+# --------------------------------------------------------------- timing core
+
+
+def _bench_loop(fn, rows, *, budget_seconds: float) -> tuple[float, int]:
+    """ns/op and op count for ``fn(row)`` cycled over ``rows``.
+
+    Runs whole passes over ``rows`` (so every measurement sees the same
+    input mix) until the time budget is spent; one warmup pass first.
+    """
+    for row in rows:
+        fn(row)
+    ops = 0
+    elapsed = 0.0
+    perf = time.perf_counter
+    while elapsed < budget_seconds:
+        t0 = perf()
+        for row in rows:
+            fn(row)
+        elapsed += perf() - t0
+        ops += len(rows)
+    return 1e9 * elapsed / ops, ops
+
+
+def _component(ns: float, ops: int, reference_ns: float | None = None) -> dict:
+    return {
+        "ns_per_op": ns,
+        "ops": ops,
+        "speedup_vs_reference": 1.0 if reference_ns is None else reference_ns / ns,
+    }
+
+
+# ----------------------------------------------------------- parity fixture
+
+
+class _RecordingAdmission(OnlineClassifierAdmission):
+    """Admission wrapper that logs the exact admit/deny verdict sequence."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.verdict_log: list[bool] = []
+
+    def should_admit(self, index: int, oid: int, size: int) -> bool:
+        ok = super().should_admit(index, oid, size)
+        self.verdict_log.append(ok)
+        return ok
+
+
+def _parity_run(trace: Trace, model, m_threshold: float, cap: int, *, fast: bool):
+    adm = _RecordingAdmission(
+        model,
+        OnlineFeatureTracker(trace),
+        m_threshold,
+        HistoryTable(1024),
+        use_fast_path=fast,
+    )
+    result = simulate(trace, LRUCache(cap), admission=adm)
+    return adm, result
+
+
+# ------------------------------------------------------------------ harness
+
+
+def run_hotpath_bench(
+    *,
+    trace: Trace | None = None,
+    objects: int | None = None,
+    days: float | None = None,
+    seed: int = 0,
+    quick: bool = False,
+    budget_seconds: float | None = None,
+) -> dict:
+    """Measure the per-miss decision stack and return the report dict.
+
+    ``trace`` overrides synthetic generation (``objects``/``days``/
+    ``seed``).  ``quick`` shrinks the workload and per-component timing
+    budget for CI smoke runs; parity is verified in both modes.
+    """
+    if trace is None:
+        trace = generate_trace(
+            WorkloadConfig(
+                n_objects=objects or (QUICK_OBJECTS if quick else FULL_OBJECTS),
+                days=days or (QUICK_DAYS if quick else FULL_DAYS),
+                seed=seed,
+            )
+        )
+    if budget_seconds is None:
+        budget_seconds = 0.05 if quick else 0.4
+
+    # The production model: cost-sensitive CART on the paper's five features.
+    cap = max(1, trace.footprint_bytes // 100)
+    criteria = solve_criteria(
+        reaccess_distances(trace.object_ids), cap, trace.mean_object_size()
+    )
+    m = criteria.m_threshold
+    labels = one_time_labels(trace.object_ids, m)
+    fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+    model = CostSensitiveClassifier(
+        DecisionTreeClassifier(max_splits=30, rng=seed),
+        CostMatrix(fn_cost=1.0, fp_cost=2.0),
+    ).fit(fm.X, labels)
+    compiled = fast_predictor(model)
+
+    components: dict[str, dict] = {}
+    rng = np.random.default_rng(seed)
+    sample = fm.X[rng.choice(fm.X.shape[0], size=256, replace=False)]
+    sample_lists = [row.tolist() for row in sample]
+
+    # ---- single-row tree inference: the Eq.-6 t_classify term itself.
+    ref_ns, ref_ops = _bench_loop(
+        lambda x: model.predict(x.reshape(1, -1))[0],
+        list(sample),
+        budget_seconds=budget_seconds,
+    )
+    components["tree_single_reference"] = _component(ref_ns, ref_ops)
+    one_ns, one_ops = _bench_loop(
+        model.predict_one, sample_lists, budget_seconds=budget_seconds
+    )
+    components["tree_single_predict_one"] = _component(one_ns, one_ops, ref_ns)
+    cmp_ns, cmp_ops = _bench_loop(
+        compiled.predict_one, sample_lists, budget_seconds=budget_seconds
+    )
+    components["tree_single_compiled"] = _component(cmp_ns, cmp_ops, ref_ns)
+
+    # ---- batch inference: per-row cost of one micro-batch matrix call.
+    bref_ns, bref_ops = _bench_loop(
+        model.predict, [sample], budget_seconds=budget_seconds
+    )
+    components["tree_batch_reference"] = _component(
+        bref_ns / len(sample), bref_ops * len(sample)
+    )
+    bcmp_ns, bcmp_ops = _bench_loop(
+        compiled.predict, [sample], budget_seconds=budget_seconds
+    )
+    components["tree_batch_compiled"] = _component(
+        bcmp_ns / len(sample), bcmp_ops * len(sample), bref_ns / len(sample)
+    )
+
+    # ---- feature tracker: dict-dispatch + ndarray vs plan + reused buffer.
+    # Replayed over a trace prefix so recency/recent-requests state is real.
+    prefix = min(trace.n_accesses, 4096)
+    tracker_ref = OnlineFeatureTracker(trace)
+    indices = list(range(prefix))
+    for i in indices:  # steady-state running state for both trackers
+        tracker_ref.observe(i)
+    tref_ns, tref_ops = _bench_loop(
+        tracker_ref.features, indices, budget_seconds=budget_seconds
+    )
+    components["tracker_features_reference"] = _component(tref_ns, tref_ops)
+    buf = [0.0] * len(tracker_ref.feature_names)
+    tfast_ns, tfast_ops = _bench_loop(
+        lambda i: tracker_ref.features_into(i, buf),
+        indices,
+        budget_seconds=budget_seconds,
+    )
+    components["tracker_features_into"] = _component(tfast_ns, tfast_ops, tref_ns)
+
+    # ---- end-to-end admission + exact decision parity over a full replay.
+    fast_adm, fast_result = _parity_run(trace, model, m, cap, fast=True)
+    ref_adm, ref_result = _parity_run(trace, model, m, cap, fast=False)
+    components["admission_reference"] = _component(
+        1e9 * ref_adm.mean_decision_seconds, ref_adm.decisions
+    )
+    components["admission_fast"] = _component(
+        1e9 * fast_adm.mean_decision_seconds,
+        fast_adm.decisions,
+        1e9 * ref_adm.mean_decision_seconds,
+    )
+
+    identical = (
+        fast_adm.verdict_log == ref_adm.verdict_log
+        and fast_result.stats == ref_result.stats
+    )
+    parity = {
+        "requests": trace.n_accesses,
+        "decisions": fast_adm.decisions,
+        "identical": identical,
+        "stats_fast": vars(fast_result.stats).copy(),
+        "stats_reference": vars(ref_result.stats).copy(),
+    }
+
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "trace": {
+            "objects": trace.n_objects,
+            "requests": trace.n_accesses,
+            "seed": seed,
+        },
+        "components": components,
+        "parity": parity,
+        "t_classify_us": {
+            "fast": 1e6 * fast_adm.mean_decision_seconds,
+            "reference": 1e6 * ref_adm.mean_decision_seconds,
+            "paper": PAPER_T_CLASSIFY_US,
+        },
+    }
+
+
+# ----------------------------------------------------------------- reporting
+
+
+def check_report(report: dict, *, min_speedup: float = 0.0) -> None:
+    """Raise :class:`BenchError` on parity failure or a missed speed floor."""
+    parity = report["parity"]
+    if not parity["identical"]:
+        raise BenchError(
+            "fast and reference admission paths diverged: "
+            f"fast={parity['stats_fast']} reference={parity['stats_reference']}"
+        )
+    if min_speedup > 0:
+        speedup = report["components"]["tree_single_compiled"][
+            "speedup_vs_reference"
+        ]
+        if speedup < min_speedup:
+            raise BenchError(
+                f"compiled single-row classification speedup {speedup:.1f}× "
+                f"is below the {min_speedup:.1f}× floor"
+            )
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"hot-path benchmark ({'quick' if report['quick'] else 'full'} mode) — "
+        f"{report['trace']['requests']:,} requests, "
+        f"{report['trace']['objects']:,} objects",
+        f"{'component':28s} {'ns/op':>12s} {'ops':>10s} {'speedup':>9s}",
+    ]
+    for name, c in report["components"].items():
+        lines.append(
+            f"{name:28s} {c['ns_per_op']:12,.0f} {c['ops']:10,} "
+            f"{c['speedup_vs_reference']:8.1f}x"
+        )
+    parity = report["parity"]
+    lines.append(
+        f"decision parity over {parity['requests']:,} requests "
+        f"({parity['decisions']:,} decisions): "
+        + ("IDENTICAL" if parity["identical"] else "DIVERGED")
+    )
+    t = report["t_classify_us"]
+    lines.append(
+        f"t_classify: {t['fast']:.2f} µs fast / {t['reference']:.2f} µs "
+        f"reference (paper's C implementation: {t['paper']:.1f} µs)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

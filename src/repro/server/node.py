@@ -51,6 +51,7 @@ from repro.core.history_table import HistoryTable
 from repro.core.labeling import ONE_TIME, one_time_labels, reaccess_distances
 from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
+from repro.ml.fastpath import fast_predictor
 from repro.ml.tree import DecisionTreeClassifier
 from repro.obs.drift import DriftMonitor
 from repro.obs.exporter import MetricsExporter
@@ -231,16 +232,24 @@ class CacheNode:
 
         self.criteria: Criteria | None = None
         self.model = None
+        self._predictor = None  # compiled twin of self.model (fastpath)
         self.model_version = 0
         self.tracker: OnlineFeatureTracker | None = None
         self.history: HistoryTable | None = None
+        self._rows: np.ndarray | None = None
         if self.cfg.classifier:
             self.criteria = solve_node_criteria(trace, self.cfg)
             self.model = train_seed_model(trace, self.cfg, self.criteria)
             if self.model is not None:
                 self.model_version = 1
+                self._predictor = fast_predictor(self.model)
                 self.tracker = OnlineFeatureTracker(trace)
                 self.history = HistoryTable(history_capacity(self.criteria))
+                # Reused micro-batch feature buffer; oversized batches
+                # (direct process_batch callers) fall back to a fresh array.
+                self._rows = np.empty(
+                    (max(1, self.cfg.max_batch), len(self.tracker.feature_names))
+                )
 
         self.cache = build_cache(trace, self.cfg)
         self.stats = CacheStats()
@@ -333,9 +342,20 @@ class CacheNode:
 
         A plain attribute assignment: the processing loop binds the model
         reference once per batch, so a swap takes effect at the next batch
-        boundary and can never split a batch.
+        boundary and can never split a batch.  The compiled fast-path twin
+        is rebuilt here (off the hot path) so inference always matches the
+        installed model.
         """
         self.model = model
+        self._predictor = fast_predictor(model) if model is not None else None
+        if (
+            self._rows is None
+            and model is not None
+            and self.tracker is not None
+        ):
+            self._rows = np.empty(
+                (max(1, self.cfg.max_batch), len(self.tracker.feature_names))
+            )
         self.model_version += 1
         self._m_model_version.set(self.model_version)
         logger.info(
@@ -379,18 +399,26 @@ class CacheNode:
                 f"run starting at {self.processed}"
             )
 
-        model = self.model  # single read: the retrainer swap point
+        predictor = self._predictor  # single read: the retrainer swap point
         tracker = self.tracker
         verdicts = None
         rows = None
         t_classify = 0.0
-        if model is not None and tracker is not None:
+        if predictor is not None and tracker is not None:
             t0 = time.perf_counter()
-            rows = np.empty((n, len(tracker.feature_names)))
+            buf = self._rows
+            rows = (
+                buf[:n]
+                if buf is not None and n <= buf.shape[0]
+                else np.empty((n, len(tracker.feature_names)))
+            )
+            features_into = tracker.features_into
+            observe = tracker.observe
             for row, i in enumerate(indices):
-                rows[row] = tracker.features(i)
-                tracker.observe(i)
-            verdicts = model.predict(rows)
+                features_into(i, rows[row])
+                observe(i)
+            # One vectorised call through the compiled tree's batch twin.
+            verdicts = predictor.predict(rows)
             t_classify = (time.perf_counter() - t0) / n
             self.classify_timing.add_repeated(t_classify, n)
             self._m_classify.observe_many(t_classify, n)

@@ -108,3 +108,79 @@ class TestOnlineAdmission:
         model, _ = fitted_model
         with pytest.raises(ValueError):
             OnlineClassifierAdmission(model, OnlineFeatureTracker(trace), 0.0)
+
+
+class _RecordingAdmission(OnlineClassifierAdmission):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.verdict_log = []
+
+    def should_admit(self, index, oid, size):
+        ok = super().should_admit(index, oid, size)
+        self.verdict_log.append(ok)
+        return ok
+
+
+class TestFastPath:
+    def test_features_into_matches_features(self, trace):
+        """The reused-buffer fast path fills exactly what features() returns."""
+        tracker = OnlineFeatureTracker(trace, feature_names=FEATURE_NAMES)
+        buf = [0.0] * len(FEATURE_NAMES)
+        for i in range(min(trace.n_accesses, 2000)):
+            expected = tracker.features(i)
+            tracker.features_into(i, buf)
+            np.testing.assert_array_equal(
+                np.asarray(buf), expected, err_msg=f"mismatch at access {i}"
+            )
+            tracker.observe(i)
+
+    def test_simulate_bit_identical_fast_vs_reference(self, trace, fitted_model):
+        """Fast path on vs off: same admit/deny sequence, same CacheStats."""
+        model, _ = fitted_model
+        cap = max(1, trace.footprint_bytes // 50)
+        runs = {}
+        for fast in (True, False):
+            adm = _RecordingAdmission(
+                model,
+                OnlineFeatureTracker(trace),
+                300.0,
+                HistoryTable(64),
+                use_fast_path=fast,
+            )
+            runs[fast] = (adm, simulate(trace, LRUCache(cap), admission=adm))
+        fast_adm, fast_result = runs[True]
+        ref_adm, ref_result = runs[False]
+        assert fast_adm.verdict_log == ref_adm.verdict_log
+        assert fast_result.stats == ref_result.stats
+
+    def test_timing_disabled_records_nothing(self, trace, fitted_model):
+        """timing_capacity=0 must skip timing entirely, on both paths."""
+        model, _ = fitted_model
+        for fast in (True, False):
+            adm = OnlineClassifierAdmission(
+                model,
+                OnlineFeatureTracker(trace),
+                300.0,
+                timing_capacity=0,
+                use_fast_path=fast,
+            )
+            assert not adm.timing_enabled
+            for i in range(50):
+                adm.should_admit(i, int(trace.object_ids[i]), 100)
+            assert adm.decisions == 50
+            assert adm.decision_seconds == 0.0
+            assert len(adm.decision_times) == 0
+
+    def test_timed_fast_path_still_identical(self, trace, fitted_model):
+        """Timing on/off must not change verdicts."""
+        model, _ = fitted_model
+        logs = []
+        for capacity in (10_000, 0):
+            adm = _RecordingAdmission(
+                model, OnlineFeatureTracker(trace), 300.0,
+                timing_capacity=capacity,
+            )
+            for i in range(200):
+                adm.should_admit(i, int(trace.object_ids[i]), 100)
+            logs.append(adm.verdict_log)
+        assert logs[0] == logs[1]

@@ -1,0 +1,94 @@
+"""Tests for the hot-path benchmark harness (``repro bench-hotpath``)."""
+
+import json
+
+import pytest
+
+from repro.perf.hotpath import (
+    SCHEMA,
+    BenchError,
+    check_report,
+    format_report,
+    run_hotpath_bench,
+    write_report,
+)
+from repro.trace import WorkloadConfig, generate_trace
+
+COMPONENTS = {
+    "tree_single_reference",
+    "tree_single_predict_one",
+    "tree_single_compiled",
+    "tree_batch_reference",
+    "tree_batch_compiled",
+    "tracker_features_reference",
+    "tracker_features_into",
+    "admission_reference",
+    "admission_fast",
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    trace = generate_trace(WorkloadConfig(n_objects=600, days=1.0, seed=3))
+    return run_hotpath_bench(trace=trace, quick=True, budget_seconds=0.005)
+
+
+class TestRunHotpathBench:
+    def test_schema_and_components(self, report):
+        assert report["schema"] == SCHEMA
+        assert report["quick"] is True
+        assert set(report["components"]) == COMPONENTS
+        for comp in report["components"].values():
+            assert comp["ns_per_op"] > 0
+            assert comp["ops"] > 0
+            assert comp["speedup_vs_reference"] > 0
+        for name in COMPONENTS:
+            if name.endswith("_reference"):
+                assert report["components"][name]["speedup_vs_reference"] == 1.0
+
+    def test_parity_holds(self, report):
+        parity = report["parity"]
+        assert parity["identical"] is True
+        assert parity["requests"] > 0
+        assert parity["decisions"] > 0
+        assert parity["stats_fast"] == parity["stats_reference"]
+        check_report(report)  # must not raise
+
+    def test_t_classify_section(self, report):
+        t = report["t_classify_us"]
+        assert t["paper"] == 0.4
+        assert t["fast"] > 0 and t["reference"] > 0
+
+    def test_write_report_round_trips(self, report, tmp_path):
+        path = write_report(report, tmp_path / "BENCH_hotpath.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(report)
+        )
+
+    def test_format_report_mentions_parity(self, report):
+        text = format_report(report)
+        assert "IDENTICAL" in text
+        assert "t_classify" in text
+
+
+class TestCheckReport:
+    def test_parity_failure_raises(self, report):
+        doctored = json.loads(json.dumps(report))
+        doctored["parity"]["identical"] = False
+        with pytest.raises(BenchError, match="diverged"):
+            check_report(doctored)
+
+    def test_speedup_floor_enforced(self, report):
+        doctored = json.loads(json.dumps(report))
+        doctored["components"]["tree_single_compiled"][
+            "speedup_vs_reference"
+        ] = 1.5
+        with pytest.raises(BenchError, match="floor"):
+            check_report(doctored, min_speedup=5.0)
+
+    def test_floor_skipped_when_zero(self, report):
+        doctored = json.loads(json.dumps(report))
+        doctored["components"]["tree_single_compiled"][
+            "speedup_vs_reference"
+        ] = 0.5
+        check_report(doctored, min_speedup=0.0)  # parity only
