@@ -5,9 +5,11 @@ Dual-mode module:
 * **Script / CI**: ``python benchmarks/bench_hotpath.py [--quick]`` runs
   :func:`repro.perf.hotpath.run_hotpath_bench`, prints the component
   table, writes ``BENCH_hotpath.json`` (repo root by default) and exits
-  non-zero if the fast and reference admission paths ever disagree on a
-  single decision — or, outside ``--quick``, if the compiled tree misses
-  the 5× single-row speedup floor.
+  non-zero if any parity check fails (fast vs reference admission
+  decisions, segmented vs loop simulation) — or, outside ``--quick``, if
+  the compiled tree misses the 5× single-row floor or segment batching
+  misses the 3× end-to-end floor.  ``--components`` narrows the run to a
+  subset of groups (the CI quick gate uses ``admission,segments``).
 * **pytest-benchmark suite**: collected like the other ``bench_*``
   modules; runs quick mode and persists the table under ``results/``.
 
@@ -24,6 +26,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 try:
     from repro.perf.hotpath import (
+        COMPONENT_GROUPS,
         BenchError,
         check_report,
         format_report,
@@ -33,6 +36,7 @@ try:
 except ImportError:  # script run without PYTHONPATH=src
     sys.path.insert(0, str(_REPO_ROOT / "src"))
     from repro.perf.hotpath import (
+        COMPONENT_GROUPS,
         BenchError,
         check_report,
         format_report,
@@ -70,10 +74,22 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="compiled single-row speedup floor "
                          "(default: 5.0 full mode, 0 = unchecked in --quick)")
+    ap.add_argument("--min-segment-speedup", type=float, default=None,
+                    help="segmented-simulation end-to-end speedup floor "
+                         "(default: 3.0 full mode, 0 = unchecked in --quick)")
+    ap.add_argument("--components", default=None,
+                    help="comma-separated measurement groups to run "
+                         f"(subset of {','.join(COMPONENT_GROUPS)}; "
+                         "default: all)")
     args = ap.parse_args(argv)
 
+    components = None
+    if args.components is not None:
+        components = [c.strip() for c in args.components.split(",") if c.strip()]
+
     report = run_hotpath_bench(
-        objects=args.objects, days=args.days, seed=args.seed, quick=args.quick
+        objects=args.objects, days=args.days, seed=args.seed, quick=args.quick,
+        components=components,
     )
     path = write_report(report, args.output)
     print(format_report(report))
@@ -82,8 +98,15 @@ def main(argv: list[str] | None = None) -> int:
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.quick else 5.0
+    min_segment_speedup = args.min_segment_speedup
+    if min_segment_speedup is None:
+        min_segment_speedup = 0.0 if args.quick else 3.0
     try:
-        check_report(report, min_speedup=min_speedup)
+        check_report(
+            report,
+            min_speedup=min_speedup,
+            min_segment_speedup=min_segment_speedup,
+        )
     except BenchError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1

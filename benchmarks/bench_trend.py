@@ -1,0 +1,179 @@
+"""Bench-trend gate: diff two ``BENCH_hotpath.json`` reports in CI.
+
+The perf-smoke job uploads its report as an artifact on every run; on the
+next run it downloads the previous report and calls this script to diff
+ns/op per component.  A component that got more than ``--threshold``
+(default 20 %) slower fails the job, which is what makes a perf
+regression *visible at the PR that introduced it* instead of months later
+in a profile.
+
+Robustness rules, in order:
+
+* **No baseline** (first run on a branch, expired artifact, download
+  failure): print a notice and exit 0 — the gate cannot diff against
+  nothing, and failing would block every fresh branch.
+* **Disjoint components** (a group was added/removed or the selection
+  changed): only the intersection is compared; additions and removals are
+  listed but never fail the gate.
+* **Quick-vs-full mismatch**: mode is reported in the table header; the
+  numbers are still compared because CI always runs the same mode.
+
+Exit status: 0 = no regression beyond threshold, 1 = regression,
+2 = bad invocation (unreadable *current* report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["compare_reports", "format_markdown", "main"]
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def compare_reports(
+    baseline: dict, current: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Diff per-component ``ns_per_op`` between two bench reports.
+
+    Returns ``{rows, added, removed, regressions, threshold, modes}``
+    where each row is ``{component, baseline_ns, current_ns, delta}``
+    (``delta`` is fractional change: +0.25 = 25 % slower) and
+    ``regressions`` lists the components whose delta exceeds
+    ``threshold``.
+    """
+    base_components = baseline.get("components", {})
+    cur_components = current.get("components", {})
+    shared = sorted(set(base_components) & set(cur_components))
+    rows = []
+    regressions = []
+    for name in shared:
+        b = base_components[name]["ns_per_op"]
+        c = cur_components[name]["ns_per_op"]
+        delta = (c - b) / b if b > 0 else 0.0
+        rows.append(
+            {
+                "component": name,
+                "baseline_ns": b,
+                "current_ns": c,
+                "delta": delta,
+            }
+        )
+        if delta > threshold:
+            regressions.append(name)
+    return {
+        "rows": rows,
+        "added": sorted(set(cur_components) - set(base_components)),
+        "removed": sorted(set(base_components) - set(cur_components)),
+        "regressions": regressions,
+        "threshold": threshold,
+        "modes": {
+            "baseline": "quick" if baseline.get("quick") else "full",
+            "current": "quick" if current.get("quick") else "full",
+        },
+    }
+
+
+def _fmt_delta(delta: float) -> str:
+    return f"{100 * delta:+.1f}%"
+
+
+def format_markdown(result: dict) -> str:
+    """GitHub-flavoured markdown delta table for ``$GITHUB_STEP_SUMMARY``."""
+    modes = result["modes"]
+    lines = [
+        "## Hot-path bench trend",
+        "",
+        f"Threshold: **{100 * result['threshold']:.0f}%** slower fails "
+        f"(baseline: {modes['baseline']} mode, current: {modes['current']} "
+        "mode).",
+        "",
+        "| component | baseline ns/op | current ns/op | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in result["rows"]:
+        if row["delta"] > result["threshold"]:
+            status = "REGRESSION"
+        elif row["delta"] < -result["threshold"]:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"| `{row['component']}` | {row['baseline_ns']:,.0f} "
+            f"| {row['current_ns']:,.0f} | {_fmt_delta(row['delta'])} "
+            f"| {status} |"
+        )
+    if not result["rows"]:
+        lines.append("| _no shared components_ | | | | |")
+    if result["added"]:
+        lines += ["", "New components (no baseline): "
+                  + ", ".join(f"`{c}`" for c in result["added"])]
+    if result["removed"]:
+        lines += ["", "Dropped components: "
+                  + ", ".join(f"`{c}`" for c in result["removed"])]
+    if result["regressions"]:
+        lines += ["", "**FAILED** — regressed beyond threshold: "
+                  + ", ".join(f"`{c}`" for c in result["regressions"])]
+    else:
+        lines += ["", "No component regressed beyond the threshold."]
+    return "\n".join(lines)
+
+
+def _load(path: str) -> dict | None:
+    p = Path(path)
+    if not p.is_file():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_hotpath.json reports and fail on "
+        "per-component ns/op regressions."
+    )
+    ap.add_argument("--baseline", required=True,
+                    help="previous run's BENCH_hotpath.json (may be missing)")
+    ap.add_argument("--current", required=True,
+                    help="this run's BENCH_hotpath.json")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="fractional slowdown that fails (default: 0.20)")
+    ap.add_argument("--summary", default=None,
+                    help="append the markdown table to this file (e.g. "
+                         "$GITHUB_STEP_SUMMARY); defaults to the "
+                         "GITHUB_STEP_SUMMARY env var when set")
+    args = ap.parse_args(argv)
+
+    current = _load(args.current)
+    if current is None:
+        print(f"cannot read current report {args.current!r}", file=sys.stderr)
+        return 2
+
+    baseline = _load(args.baseline)
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if baseline is None:
+        msg = (f"no baseline report at {args.baseline!r} — first run on this "
+               "branch or expired artifact; trend gate skipped")
+        print(msg)
+        if summary_path:
+            with open(summary_path, "a") as fh:
+                fh.write(f"## Hot-path bench trend\n\n{msg}\n")
+        return 0
+
+    result = compare_reports(baseline, current, threshold=args.threshold)
+    table = format_markdown(result)
+    print(table)
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table + "\n")
+    return 1 if result["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

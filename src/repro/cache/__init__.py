@@ -26,6 +26,7 @@ from repro.cache.sieve import SieveCache
 from repro.cache.lirs import LIRSCache
 from repro.cache.belady import BeladyCache, compute_next_use
 from repro.cache.hierarchy import HierarchicalCache
+from repro.cache.segments import SegmentPlan
 from repro.cache.simulator import POLICY_REGISTRY, SimulationResult, make_policy, simulate
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "HierarchicalCache",
     "compute_next_use",
     "POLICY_REGISTRY",
+    "SegmentPlan",
     "SimulationResult",
     "make_policy",
     "simulate",

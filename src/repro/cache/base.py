@@ -76,6 +76,67 @@ class CachePolicy(ABC):
             return self.access(oid, size)
         return None
 
+    def can_batch_hits(self) -> bool:
+        """Whether :meth:`access_batch` is worth calling on hit runs.
+
+        ``True`` means the policy's hit-side transition is cheap enough —
+        or vectorisable enough — that the simulator should route candidate
+        guaranteed-hit runs (:class:`repro.cache.segments.SegmentPlan`)
+        through :meth:`access_batch` instead of the per-request loop.  This
+        is purely a *performance* capability: correctness never depends on
+        it, because :meth:`access_batch` stops at the first non-hit.  The
+        conservative default is ``False``; policies whose hits cannot evict
+        (LRU, FIFO, LFU, SIEVE) or are loop-equivalent (S3LRU) opt in.
+        """
+        return False
+
+    def access_batch(
+        self, oids, sizes, distinct=None
+    ) -> "tuple[int, tuple[int, ...]]":
+        """Process a consecutive run of requests *expected* to all hit.
+
+        ``oids``/``sizes`` are equal-length sequences (the simulator passes
+        NumPy array slices; plain lists are accepted too).  Requests are
+        processed in order **while they hit**; processing stops *before*
+        the first non-resident request, so its miss-side transition
+        (admission verdict, insertion, ghosts) is left entirely to the
+        caller's per-request path.  Returns ``(consumed, evicted)`` where
+        ``consumed`` is how many leading requests were processed as hits
+        and ``evicted`` concatenates, in order, any objects displaced by
+        those hits (possible for policies whose hit transition can
+        demote/evict, e.g. S3LRU's segment-quota rounding).
+
+        ``distinct``, when given, is the precomputed deduplication of the
+        run — each distinct oid exactly once, ordered by **last occurrence**
+        (:meth:`repro.cache.segments.SegmentPlan.batches` builds it
+        vectorised).  A run of hits can only permute recency, and only the
+        last occurrence of each object decides its final position, so
+        ``distinct`` is everything an order-insensitive (FIFO, SIEVE) or
+        promotion-only (LRU) policy needs — it never has to touch the full
+        run.  The hint is advisory: every occurrence in the run shares its
+        distinct set, so a policy may use it only after confirming all of
+        ``distinct`` is resident, and must otherwise fall back to the exact
+        early-stopping loop.
+
+        This default loops :meth:`access_if_present` — semantics-preserving
+        for every policy.  LRU/FIFO/SIEVE override it with hint-driven
+        versions.
+        """
+        if hasattr(oids, "tolist"):  # NumPy slices: plain ints iterate faster
+            oids = oids.tolist()
+            sizes = sizes.tolist()
+        consumed = 0
+        evicted: list[int] = []
+        access_if_present = self.access_if_present
+        for oid, size in zip(oids, sizes):
+            result = access_if_present(oid, size)
+            if result is None:
+                break
+            consumed += 1
+            if result.evicted:
+                evicted.extend(result.evicted)
+        return consumed, tuple(evicted)
+
     @property
     @abstractmethod
     def used_bytes(self) -> int:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.cache.base import AccessResult, CachePolicy
 
 __all__ = ["FIFOCache"]
@@ -24,6 +26,28 @@ class FIFOCache(CachePolicy):
         # A FIFO hit has no side effects, so the peek is one lookup.
         self._validate_request(size)
         return _HIT if oid in self._entries else None
+
+    def can_batch_hits(self) -> bool:
+        return True
+
+    def access_batch(self, oids, sizes, distinct=None) -> tuple[int, tuple[int, ...]]:
+        # FIFO hits mutate nothing, so a confirmed all-resident run is a
+        # pure no-op: one membership sweep over the distinct objects.
+        n = len(oids)
+        if n == 0:
+            return 0, ()
+        if distinct is None:
+            if isinstance(oids, np.ndarray):  # plain ints hash faster
+                oids = oids.tolist()
+                sizes = sizes.tolist()
+            if min(sizes) <= 0:
+                return super().access_batch(oids, sizes)
+            distinct = set(oids)
+        entries = self._entries
+        for o in distinct:
+            if o not in entries:
+                return super().access_batch(oids, sizes)
+        return n, ()
 
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)

@@ -49,6 +49,14 @@ class LFUCache(CachePolicy):
         del self._freq[victim]
         return victim
 
+    def can_batch_hits(self) -> bool:
+        # A hit bumps a per-object frequency, so every occurrence in a run
+        # matters — the distinct-set shortcut doesn't apply and batching
+        # would fall back to the early-stopping loop, which measures
+        # *slower* than the simulator's flat loop (the extra membership
+        # probe outweighs the skipped stats work).  Stay on the loop.
+        return False
+
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
         if oid in self._size:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.cache.base import AccessResult, CachePolicy
 
 __all__ = ["LRUCache"]
@@ -33,6 +35,41 @@ class LRUCache(CachePolicy):
             return None
         self._entries.move_to_end(oid)
         return _HIT
+
+    def can_batch_hits(self) -> bool:
+        return True
+
+    def access_batch(self, oids, sizes, distinct=None) -> tuple[int, tuple[int, ...]]:
+        # A run of LRU hits only reorders recency, and only the *last*
+        # occurrence of each object decides its final position: replaying
+        # the run is equivalent to one move_to_end per distinct object in
+        # ascending order of last occurrence (untouched residents keep
+        # their relative order underneath).  The segment plan precomputes
+        # exactly that order (``distinct``), so the happy path touches each
+        # distinct object twice — one membership probe, one move — and the
+        # repeats inside the run cost nothing.
+        n = len(oids)
+        if n == 0:
+            return 0, ()
+        entries = self._entries
+        if distinct is None:
+            if isinstance(oids, np.ndarray):  # plain ints hash faster
+                oids = oids.tolist()
+                sizes = sizes.tolist()
+            if min(sizes) <= 0:
+                # Replay per-request so the invalid size raises at its index.
+                return super().access_batch(oids, sizes)
+            distinct = list(dict.fromkeys(reversed(oids)))
+            distinct.reverse()
+        for o in distinct:
+            if o not in entries:
+                # Not the all-hit run the caller expected — fall back to
+                # the exact early-stopping loop.
+                return super().access_batch(oids, sizes)
+        move = entries.move_to_end
+        for o in distinct:
+            move(o)
+        return n, ()
 
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)

@@ -87,6 +87,37 @@ class SieveCache(CachePolicy):
 
     # --------------------------------------------------------------- access
 
+    def can_batch_hits(self) -> bool:
+        # A hit only sets the node's visited bit — no movement, no eviction
+        # — so a run of hits collapses to one bit-set per distinct object.
+        return True
+
+    def access_batch(self, oids, sizes, distinct=None) -> tuple[int, tuple[int, ...]]:
+        # Hit order is irrelevant for SIEVE (idempotent bit-sets), so one
+        # membership sweep over the distinct objects suffices.
+        n = len(oids)
+        if n == 0:
+            return 0, ()
+        if distinct is None:
+            if hasattr(oids, "tolist"):  # plain ints hash/compare faster
+                oids = oids.tolist()
+                sizes = sizes.tolist()
+            if min(sizes) <= 0:
+                return super().access_batch(oids, sizes)
+            distinct = set(oids)
+        get = self._nodes.get
+        batch = []
+        for o in distinct:
+            node = get(o)
+            if node is None:
+                # Not the all-hit run the caller expected — fall back to
+                # the exact early-stopping loop.
+                return super().access_batch(oids, sizes)
+            batch.append(node)
+        for node in batch:
+            node.visited = True
+        return n, ()
+
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
         node = self._nodes.get(oid)

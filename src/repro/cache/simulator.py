@@ -9,7 +9,14 @@ should be written to the SSD (the paper's Fig.-4 workflow), and accumulates
 
 The per-access loop is deliberately lean Python (locals bound outside the
 loop, one dict lookup per access in the common case) — profiling puts it at
-≈1–2 µs/access for LRU, which keeps the full benchmark grid tractable.
+≈1–2 µs/access for LRU, which keeps the full benchmark grid tractable.  On
+top of that, ``use_segments=True`` (the default) routes *guaranteed-hit*
+runs nominated by a :class:`~repro.cache.segments.SegmentPlan` through the
+policy's vectorised :meth:`~repro.cache.base.CachePolicy.access_batch`,
+skipping the per-request loop entirely where no admission decision or
+eviction can alter observable state.  Segmenting is bit-exact — same hit/
+miss/write/eviction sequence as the loop — and ``use_segments=False``
+restores the original path untouched.
 """
 
 from __future__ import annotations
@@ -25,12 +32,31 @@ from repro.cache.gdsf import GDSFCache
 from repro.cache.lfu import LFUCache
 from repro.cache.lirs import LIRSCache
 from repro.cache.lru import LRUCache
+from repro.cache.segments import SegmentPlan
 from repro.cache.sieve import SieveCache
 from repro.cache.slru import S3LRUCache
 from repro.cache.twoq import TwoQCache
 from repro.trace.records import Trace
 
-__all__ = ["SimulationResult", "simulate", "make_policy", "POLICY_REGISTRY"]
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "make_policy",
+    "POLICY_REGISTRY",
+    "MIN_SEGMENT_COVERAGE",
+]
+
+#: After this many failed batch attempts inside one candidate run (each one
+#: separated by a single slow-path request), the rest of the run is handed
+#: back to the loop — bounds the retry overhead on adversarial streams.
+_MAX_STALLS = 2
+
+#: Below this candidate-run coverage the segmented replay cannot pay for
+#: its per-region bookkeeping (measured break-even is ~8–10 % on the paper
+#: workload), so ``simulate`` silently stays on the per-request loop.
+#: Passing an explicit ``segment_plan`` bypasses the gate — the caller has
+#: opted in (as the parity tests do on purpose-built tiny traces).
+MIN_SEGMENT_COVERAGE = 0.10
 
 #: Online policies constructible from a capacity alone.
 POLICY_REGISTRY: dict[str, Callable[[int], CachePolicy]] = {
@@ -109,6 +135,8 @@ def simulate(
     observer: CacheObserver | None = None,
     warmup_fraction: float = 0.0,
     policy_name: str | None = None,
+    use_segments: bool = True,
+    segment_plan: SegmentPlan | None = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``policy`` and return the measured stats.
 
@@ -120,6 +148,18 @@ def simulate(
     compulsory misses from the measurement — standard practice when
     comparing steady-state behaviour.  The paper measures the whole trace,
     so the default is 0.
+
+    ``use_segments`` (default on) batches candidate guaranteed-hit runs
+    through :meth:`~repro.cache.base.CachePolicy.access_batch` for policies
+    advertising :meth:`~repro.cache.base.CachePolicy.can_batch_hits`; the
+    result is bit-identical to the loop, just faster on hit-dominated
+    replays.  Segmenting engages only when the plan's candidate runs cover
+    at least :data:`MIN_SEGMENT_COVERAGE` of the trace (below that the
+    bookkeeping wouldn't pay for itself).  Pass ``use_segments=False`` for
+    the original per-request path (useful for parity checks and
+    micro-benchmarks), or ``segment_plan`` to reuse a prebuilt
+    :class:`~repro.cache.segments.SegmentPlan` — an explicit plan also
+    bypasses the coverage gate.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
@@ -127,15 +167,43 @@ def simulate(
     if admission is not None:
         admission.reset()
 
+    n = trace.n_accesses
+    warm_start = int(warmup_fraction * n)
+
+    batches = None
+    plan = None
+    if use_segments and policy.can_batch_hits():
+        plan = segment_plan if segment_plan is not None else SegmentPlan.for_trace(trace)
+        if (
+            segment_plan is not None
+            or plan.coverage(policy.capacity) >= MIN_SEGMENT_COVERAGE
+        ):
+            batches = plan.batches(policy.capacity)
+
+    if batches:
+        # Segment-batching replay: it materialises only the trace regions
+        # the per-request path actually walks (the full-trace tolist below
+        # is itself ~10 % of a hit-dominated replay).
+        _simulate_segmented(
+            policy, admission, observer, stats, trace, plan, warm_start, batches
+        )
+        return SimulationResult(
+            policy=policy_name or type(policy).__name__,
+            capacity_bytes=policy.capacity,
+            stats=stats,
+            admission=type(admission).__name__ if admission is not None else "always",
+        )
+
     object_ids = trace.object_ids
     sizes = trace.catalog["size"][object_ids]
     # Plain int lists iterate ~2× faster than NumPy scalars in this loop.
     oid_list = object_ids.tolist()
     size_list = sizes.tolist()
-    warm_start = int(warmup_fraction * len(oid_list))
 
     access = policy.access
     record = stats.record
+    # The original per-request loops, untouched: with segments off (or
+    # never engaging) behaviour is bit-for-bit the pre-segment path.
     if admission is None:
         for i, oid in enumerate(oid_list):
             result = access(oid, size_list[i])
@@ -171,3 +239,127 @@ def simulate(
         stats=stats,
         admission=type(admission).__name__ if admission is not None else "always",
     )
+
+
+def _simulate_segmented(
+    policy: CachePolicy,
+    admission: AdmissionPolicy | None,
+    observer: CacheObserver | None,
+    stats: CacheStats,
+    trace: Trace,
+    plan: SegmentPlan,
+    warm_start: int,
+    batches,
+) -> None:
+    """The segment-batching replay: loop between runs, batch inside them.
+
+    Semantics contract (checked by the parity suite): the hit/miss/write/
+    eviction sequence, the admission callback sequence, and the resulting
+    :class:`CacheStats` are bit-identical to the per-request loops above.
+
+    Trace columns are materialised lazily, region by region: batched runs
+    never need Python ints (the policy works off the precomputed distinct
+    list), so only the slow regions pay the ndarray→list conversion.
+    """
+    oid_arr = trace.object_ids
+    size_arr = trace.catalog["size"][oid_arr]
+    n = oid_arr.shape[0]
+    prefix = plan.prefix_bytes
+    record = stats.record
+    access = policy.access
+    access_batch = policy.access_batch
+    if admission is not None:
+        should_admit = admission.should_admit
+        on_hit = admission.on_hit
+        access_if_present = policy.access_if_present
+        # The per-hit callback is only replayed when actually overridden —
+        # every stock grid admission (AlwaysAdmit/Oracle/Classifier) uses
+        # the base no-op, so batched hits cost nothing there.
+        batch_on_hit = type(admission).on_hit is not AdmissionPolicy.on_hit
+    else:
+        batch_on_hit = False
+
+    def slow(lo: int, hi: int) -> None:
+        """The exact per-request path over trace positions [lo, hi)."""
+        oid_l = oid_arr[lo:hi].tolist()
+        size_l = size_arr[lo:hi].tolist()
+        if admission is None:
+            for k, oid in enumerate(oid_l):
+                size = size_l[k]
+                result = access(oid, size)
+                if lo + k >= warm_start:
+                    record(size, result, False)
+                if observer is not None and (result.inserted or result.evicted):
+                    _notify(observer, oid, size, result)
+        else:
+            for k, oid in enumerate(oid_l):
+                i = lo + k
+                size = size_l[k]
+                result = access_if_present(oid, size)
+                if result is not None:
+                    on_hit(i, oid, size)
+                    denied = False
+                else:
+                    ok = should_admit(i, oid, size)
+                    result = access(oid, size, admit=ok)
+                    denied = not ok
+                if i >= warm_start:
+                    record(size, result, denied)
+                if observer is not None and (result.inserted or result.evicted):
+                    _notify(observer, oid, size, result)
+
+    pos = 0
+    for s, e, distinct in batches:
+        # Split runs at the warmup boundary so every batch is entirely
+        # counted or entirely warmup — keeping eviction attribution
+        # identical to the loop, which credits an eviction to the request
+        # that triggered it.  The precomputed dedup covers the whole run,
+        # so the (rare) straddling halves use the exact loop instead.
+        if s < warm_start < e:
+            spans = ((s, warm_start, None), (warm_start, e, None))
+        else:
+            spans = ((s, e, distinct),)
+        for s2, e2, d2 in spans:
+            if pos < s2:
+                slow(pos, s2)
+                pos = s2
+            stalls = 0
+            while pos < e2:
+                consumed, evicted = access_batch(
+                    oid_arr[pos:e2],
+                    size_arr[pos:e2],
+                    d2 if pos == s2 else None,
+                )
+                if consumed:
+                    end = pos + consumed
+                    if pos >= warm_start:
+                        nbytes = int(prefix[end] - prefix[pos])
+                        stats.requests += consumed
+                        stats.hits += consumed
+                        stats.bytes_requested += nbytes
+                        stats.bytes_hit += nbytes
+                        stats.evictions += len(evicted)
+                    if batch_on_hit:
+                        oid_l = oid_arr[pos:end].tolist()
+                        size_l = size_arr[pos:end].tolist()
+                        for k, oid in enumerate(oid_l):
+                            on_hit(pos + k, oid, size_l[k])
+                    if observer is not None:
+                        for victim in evicted:
+                            observer.on_evict(victim)
+                    pos = end
+                if pos >= e2:
+                    break
+                # The next request is not a batchable hit (miss, denied-
+                # then-re-accessed object, or a mid-run eviction): run it
+                # through the exact path, then retry the remainder a
+                # bounded number of times before conceding the run.
+                stalls += 1
+                if stalls > _MAX_STALLS:
+                    slow(pos, e2)
+                    pos = e2
+                    break
+                slow(pos, pos + 1)
+                pos += 1
+    if pos < n:
+        slow(pos, n)

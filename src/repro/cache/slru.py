@@ -51,6 +51,12 @@ class S3LRUCache(CachePolicy):
                 self._where[oid] = level - 1
                 self._overflow(level - 1, evicted)
 
+    def can_batch_hits(self) -> bool:
+        # Hit promotion is stateful (and can demote/evict via segment-quota
+        # rounding), so batching uses the base early-stopping loop — still
+        # profitable because it skips the simulator's per-request overhead.
+        return True
+
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
         level = self._where.get(oid)

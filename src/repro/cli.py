@@ -90,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="lru")
     p.add_argument("--capacity-fraction", type=float, default=0.01,
                    help="capacity as a fraction of the trace footprint")
+    p.add_argument("--no-segments", action="store_true",
+                   help="disable vectorised hit-run batching (bit-identical "
+                        "results; for parity checks and timing comparisons)")
 
     p = sub.add_parser("experiment", help="Original/Proposal/Ideal/Belady comparison")
     _add_trace_args(p)
@@ -101,6 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="hit rate across the paper's capacity axis")
     _add_trace_args(p)
     p.add_argument("--policy", default="lru")
+    p.add_argument("--no-segments", action="store_true",
+                   help="disable vectorised hit-run batching")
 
     p = sub.add_parser("analyze", help="workload analysis: Zipf, reuse, stack profile")
     _add_trace_args(p)
@@ -176,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=None,
                    help="compiled single-row speedup floor (default: 5.0 in "
                         "full mode, unchecked with --quick)")
+    p.add_argument("--min-segment-speedup", type=float, default=None,
+                   help="segmented-simulation speedup floor (default: 3.0 in "
+                        "full mode, unchecked with --quick)")
+    p.add_argument("--components", default=None,
+                   help="comma-separated measurement groups "
+                        "(tree,tracker,admission,segments; default: all)")
 
     p = sub.add_parser(
         "trace-dump",
@@ -252,7 +263,8 @@ def _cmd_simulate(args) -> int:
     trace = _resolve_trace(args)
     cap = max(1, int(args.capacity_fraction * trace.footprint_bytes))
     result = simulate(
-        trace, make_policy(args.policy, cap, trace), policy_name=args.policy
+        trace, make_policy(args.policy, cap, trace), policy_name=args.policy,
+        use_segments=not args.no_segments,
     )
     s = result.stats
     print(f"policy={args.policy} capacity={cap / 2**20:.1f} MiB")
@@ -285,7 +297,8 @@ def _cmd_sweep(args) -> int:
     print(f"{'paper GB':>9s} {'capacity MiB':>13s} {'hit rate':>9s}")
     for frac in paper_capacity_fractions():
         sc = paper_equivalent_bytes(frac, trace.footprint_bytes)
-        r = simulate(trace, make_policy(args.policy, sc.bytes, trace))
+        r = simulate(trace, make_policy(args.policy, sc.bytes, trace),
+                     use_segments=not args.no_segments)
         print(f"{sc.paper_gb:9.0f} {sc.bytes / 2**20:13.1f} {r.hit_rate:9.4f}")
     return 0
 
@@ -443,9 +456,12 @@ def _cmd_bench_hotpath(args) -> int:
     # scale unless the generator knobs were changed from the CLI defaults.
     objects = args.objects if args.objects != 25_000 else None
     days = args.days if args.days != 9.0 else None
+    components = None
+    if args.components is not None:
+        components = [c.strip() for c in args.components.split(",") if c.strip()]
     report = run_hotpath_bench(
         trace=trace, objects=objects, days=days, seed=args.seed,
-        quick=args.quick,
+        quick=args.quick, components=components,
     )
     path = write_report(report, args.output)
     print(format_report(report))
@@ -453,8 +469,12 @@ def _cmd_bench_hotpath(args) -> int:
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.quick else 5.0
+    min_segment_speedup = args.min_segment_speedup
+    if min_segment_speedup is None:
+        min_segment_speedup = 0.0 if args.quick else 3.0
     try:
-        check_report(report, min_speedup=min_speedup)
+        check_report(report, min_speedup=min_speedup,
+                     min_segment_speedup=min_segment_speedup)
     except BenchError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1

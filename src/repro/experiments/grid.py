@@ -20,7 +20,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.cache.simulator import SimulationResult, make_policy, simulate
+from repro.cache.segments import SegmentPlan
+from repro.cache.simulator import (
+    MIN_SEGMENT_COVERAGE,
+    SimulationResult,
+    make_policy,
+    simulate,
+)
 from repro.config import paper_capacity_fractions, paper_equivalent_bytes
 from repro.core.admission import AlwaysAdmit, ClassifierAdmission, OracleAdmission
 from repro.core.criteria import solve_criteria
@@ -88,9 +94,12 @@ class CapacityBlock:
 _WORKER: dict = {}
 
 
-def _worker_init(trace: Trace, policies: tuple[str, ...]) -> None:
+def _worker_init(
+    trace: Trace, policies: tuple[str, ...], use_segments: bool
+) -> None:
     _WORKER["trace"] = trace
     _WORKER["policies"] = policies
+    _WORKER["use_segments"] = use_segments
     _WORKER["distances"] = reaccess_distances(trace.object_ids)
     _WORKER["features"] = extract_features(trace)
 
@@ -102,13 +111,18 @@ def _compute_block_impl(
     features,
     cap: int,
     training_rng: int,
+    use_segments: bool = True,
 ) -> CapacityBlock:
     mean_size = trace.mean_object_size()
     footprint = trace.footprint_bytes
 
     originals = {
         p: simulate(
-            trace, make_policy(p, cap), admission=AlwaysAdmit(), policy_name=p
+            trace,
+            make_policy(p, cap),
+            admission=AlwaysAdmit(),
+            policy_name=p,
+            use_segments=use_segments,
         )
         for p in policies
     }
@@ -147,10 +161,11 @@ def _compute_block_impl(
             make_policy(p, cap),
             admission=ClassifierAdmission.from_criteria(tr.predictions, crit),
             policy_name=p,
+            use_segments=use_segments,
         )
         ideals[p] = simulate(
             trace, make_policy(p, cap), admission=OracleAdmission(lab),
-            policy_name=p,
+            policy_name=p, use_segments=use_segments,
         )
 
     return CapacityBlock(
@@ -163,7 +178,8 @@ def _compute_block_impl(
         training=training,
         lirs_training=lirs_training,
         belady=simulate(
-            trace, make_policy("belady", cap, trace), policy_name="belady"
+            trace, make_policy("belady", cap, trace), policy_name="belady",
+            use_segments=use_segments,
         ),
         originals=originals,
         proposals=proposals,
@@ -180,6 +196,7 @@ def _compute_block_worker(cap: int, training_rng: int) -> CapacityBlock:
         _WORKER["features"],
         cap,
         training_rng,
+        _WORKER["use_segments"],
     )
 
 
@@ -199,6 +216,11 @@ class GridRunner:
     training_rng:
         Seed for the daily-training runs (kept fixed so points are
         reproducible regardless of evaluation order).
+    use_segments:
+        Route guaranteed-hit runs through the vectorised
+        :meth:`~repro.cache.base.CachePolicy.access_batch` path (default).
+        Results are bit-identical either way — the flag exists for parity
+        tests and micro-benchmarks.
     """
 
     def __init__(
@@ -208,11 +230,13 @@ class GridRunner:
         *,
         policies: tuple[str, ...] = POLICIES,
         training_rng: int = 0,
+        use_segments: bool = True,
     ):
         self.trace = trace
         self.fractions = list(fractions or paper_capacity_fractions())
         self.policies = tuple(policies)
         self.training_rng = training_rng
+        self.use_segments = use_segments
         self.footprint = trace.footprint_bytes
         self._distances = reaccess_distances(trace.object_ids)
         self._features = extract_features(trace)
@@ -238,6 +262,7 @@ class GridRunner:
                 self._features,
                 cap,
                 self.training_rng,
+                self.use_segments,
             )
             self._blocks[cap] = block
         return block
@@ -252,6 +277,14 @@ class GridRunner:
         todo = [c for c in dict.fromkeys(caps) if c not in self._blocks]
         if not todo:
             return
+        if self.use_segments:
+            # One Fenwick pass + per-capacity run/promotion gathers, done in
+            # the parent so fork-based workers inherit the memoised plan
+            # copy-on-write instead of each paying for it again.
+            plan = SegmentPlan.for_trace(self.trace)
+            for cap in todo:
+                if plan.coverage(cap) >= MIN_SEGMENT_COVERAGE:
+                    plan.batches(cap)
         if max_workers is None:
             max_workers = min(len(todo), os.cpu_count() or 1)
         if max_workers <= 1:
@@ -261,7 +294,7 @@ class GridRunner:
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
-            initargs=(self.trace, self.policies),
+            initargs=(self.trace, self.policies, self.use_segments),
         ) as pool:
             futures = {
                 cap: pool.submit(_compute_block_worker, cap, self.training_rng)

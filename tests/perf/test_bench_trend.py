@@ -1,0 +1,140 @@
+"""Tests for the CI bench-trend gate (``benchmarks/bench_trend.py``)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+_spec = importlib.util.spec_from_file_location(
+    "bench_trend", _BENCH_DIR / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(_spec)
+sys.modules["bench_trend"] = bench_trend
+_spec.loader.exec_module(bench_trend)
+
+
+def report(quick=True, **ns_per_component):
+    return {
+        "schema": "repro.bench_hotpath/v1",
+        "quick": quick,
+        "components": {
+            name: {"ns_per_op": ns, "ops": 1000, "speedup_vs_reference": 1.0}
+            for name, ns in ns_per_component.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_injected_regression_beyond_threshold_fails(self):
+        base = report(simulate_segments=100.0, admission_fast=1000.0)
+        cur = report(simulate_segments=125.0, admission_fast=1000.0)  # +25%
+        result = bench_trend.compare_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == ["simulate_segments"]
+
+    def test_small_regression_within_threshold_passes(self):
+        base = report(simulate_segments=100.0)
+        cur = report(simulate_segments=115.0)  # +15% < 20%
+        result = bench_trend.compare_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == []
+        assert result["rows"][0]["delta"] == pytest.approx(0.15)
+
+    def test_improvement_passes(self):
+        base = report(admission_fast=2000.0)
+        cur = report(admission_fast=900.0)
+        result = bench_trend.compare_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["rows"][0]["delta"] < 0
+
+    def test_boundary_is_strict(self):
+        base = report(x=100.0)
+        cur = report(x=120.0)  # exactly +20%
+        result = bench_trend.compare_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == []
+
+    def test_only_intersection_compared(self):
+        base = report(old_only=10.0, shared=100.0)
+        cur = report(new_only=10.0, shared=100.0)
+        result = bench_trend.compare_reports(base, cur)
+        assert [r["component"] for r in result["rows"]] == ["shared"]
+        assert result["added"] == ["new_only"]
+        assert result["removed"] == ["old_only"]
+
+    def test_zero_baseline_does_not_divide(self):
+        base = report(weird=0.0)
+        cur = report(weird=50.0)
+        result = bench_trend.compare_reports(base, cur)
+        assert result["regressions"] == []
+
+
+class TestFormatMarkdown:
+    def test_table_contains_deltas_and_status(self):
+        base = report(simulate_segments=100.0, admission_fast=100.0)
+        cur = report(simulate_segments=150.0, admission_fast=60.0)
+        result = bench_trend.compare_reports(base, cur)
+        table = bench_trend.format_markdown(result)
+        assert "| `simulate_segments` |" in table
+        assert "+50.0%" in table and "REGRESSION" in table
+        assert "-40.0%" in table and "improved" in table
+        assert "**FAILED**" in table
+
+    def test_clean_run_says_so(self):
+        result = bench_trend.compare_reports(report(a=10.0), report(a=10.0))
+        table = bench_trend.format_markdown(result)
+        assert "No component regressed" in table
+
+
+class TestMain:
+    def _write(self, tmp_path, name, rep):
+        p = tmp_path / name
+        p.write_text(json.dumps(rep))
+        return str(p)
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        base = self._write(tmp_path, "base.json", report(a=100.0))
+        cur = self._write(tmp_path, "cur.json", report(a=200.0))
+        assert bench_trend.main(["--baseline", base, "--current", cur]) == 1
+
+    def test_clean_exits_zero_and_writes_summary(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        base = self._write(tmp_path, "base.json", report(a=100.0))
+        cur = self._write(tmp_path, "cur.json", report(a=101.0))
+        summary = tmp_path / "summary.md"
+        rc = bench_trend.main(
+            ["--baseline", base, "--current", cur, "--summary", str(summary)]
+        )
+        assert rc == 0
+        assert "Hot-path bench trend" in summary.read_text()
+
+    def test_missing_baseline_skips_gracefully(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        cur = self._write(tmp_path, "cur.json", report(a=100.0))
+        rc = bench_trend.main(
+            ["--baseline", str(tmp_path / "nope.json"), "--current", cur]
+        )
+        assert rc == 0
+
+    def test_corrupt_baseline_skips_gracefully(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        cur = self._write(tmp_path, "cur.json", report(a=100.0))
+        assert bench_trend.main(
+            ["--baseline", str(bad), "--current", cur]
+        ) == 0
+
+    def test_missing_current_is_an_error(self, tmp_path):
+        base = self._write(tmp_path, "base.json", report(a=100.0))
+        rc = bench_trend.main(
+            ["--baseline", base, "--current", str(tmp_path / "nope.json")]
+        )
+        assert rc == 2
+
+    def test_custom_threshold(self, tmp_path):
+        base = self._write(tmp_path, "base.json", report(a=100.0))
+        cur = self._write(tmp_path, "cur.json", report(a=110.0))
+        args = ["--baseline", base, "--current", cur]
+        assert bench_trend.main([*args, "--threshold", "0.05"]) == 1
+        assert bench_trend.main([*args, "--threshold", "0.20"]) == 0

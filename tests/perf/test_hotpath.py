@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.perf.hotpath import (
+    COMPONENT_GROUPS,
     SCHEMA,
     BenchError,
     check_report,
@@ -24,6 +25,8 @@ COMPONENTS = {
     "tracker_features_into",
     "admission_reference",
     "admission_fast",
+    "simulate_loop_reference",
+    "simulate_segments",
 }
 
 
@@ -37,6 +40,7 @@ class TestRunHotpathBench:
     def test_schema_and_components(self, report):
         assert report["schema"] == SCHEMA
         assert report["quick"] is True
+        assert report["components_selected"] == sorted(COMPONENT_GROUPS)
         assert set(report["components"]) == COMPONENTS
         for comp in report["components"].values():
             assert comp["ns_per_op"] > 0
@@ -45,6 +49,16 @@ class TestRunHotpathBench:
         for name in COMPONENTS:
             if name.endswith("_reference"):
                 assert report["components"][name]["speedup_vs_reference"] == 1.0
+
+    def test_segments_section(self, report):
+        seg = report["segments"]
+        assert seg["requests"] > 0
+        assert 0.0 < seg["coverage"] <= 1.0
+        assert seg["parity"]["identical"] is True
+        assert seg["parity"]["always_admit"]["identical"] is True
+        assert seg["parity"]["denying"]["identical"] is True
+        # The denying replay actually exercised the admission policy.
+        assert seg["parity"]["denying"]["decisions"] > 0
 
     def test_parity_holds(self, report):
         parity = report["parity"]
@@ -92,3 +106,48 @@ class TestCheckReport:
             "speedup_vs_reference"
         ] = 0.5
         check_report(doctored, min_speedup=0.0)  # parity only
+
+    def test_segment_parity_failure_raises(self, report):
+        doctored = json.loads(json.dumps(report))
+        doctored["segments"]["parity"]["identical"] = False
+        with pytest.raises(BenchError, match="diverged"):
+            check_report(doctored)
+
+    def test_segment_floor_enforced(self, report):
+        doctored = json.loads(json.dumps(report))
+        doctored["components"]["simulate_segments"][
+            "speedup_vs_reference"
+        ] = 1.1
+        with pytest.raises(BenchError, match="floor"):
+            check_report(doctored, min_segment_speedup=3.0)
+
+
+class TestComponentSelection:
+    @pytest.fixture(scope="class")
+    def segments_only(self):
+        return run_hotpath_bench(quick=True, components=["segments"])
+
+    def test_only_selected_sections_present(self, segments_only):
+        assert segments_only["components_selected"] == ["segments"]
+        assert set(segments_only["components"]) == {
+            "simulate_loop_reference",
+            "simulate_segments",
+        }
+        assert "parity" not in segments_only
+        assert "t_classify_us" not in segments_only
+        assert "trace" not in segments_only
+        assert segments_only["segments"]["parity"]["identical"] is True
+
+    def test_check_and_format_tolerate_missing_sections(self, segments_only):
+        check_report(segments_only, min_speedup=5.0)  # no tree section: skip
+        text = format_report(segments_only)
+        assert "simulate_segments" in text
+        assert "t_classify" not in text
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError, match="unknown component groups"):
+            run_hotpath_bench(quick=True, components=["segments", "nope"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            run_hotpath_bench(quick=True, components=[])
