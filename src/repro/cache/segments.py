@@ -152,9 +152,7 @@ class SegmentPlan:
             self._batches[capacity_bytes] = batches
         return batches
 
-    def _build_batches(self, runs: np.ndarray) -> list:
-        if runs.shape[0] == 0:
-            return []
+    def _ensure_next_occ(self) -> np.ndarray:
         if self._next_occ is None:
             # next_occ[i] = index of the next access of the same object,
             # or n when there is none.  A stable argsort groups accesses by
@@ -167,6 +165,12 @@ class SegmentPlan:
             same = sorted_oids[1:] == sorted_oids[:-1]
             next_occ[order[:-1][same]] = order[1:][same]
             self._next_occ = next_occ
+        return self._next_occ
+
+    def _build_batches(self, runs: np.ndarray) -> list:
+        if runs.shape[0] == 0:
+            return []
+        self._ensure_next_occ()
         starts = runs[:, 0]
         ends = runs[:, 1]
         lens = ends - starts
@@ -195,7 +199,72 @@ class SegmentPlan:
             return 0.0
         return float((runs[:, 1] - runs[:, 0]).sum() / self.n_accesses)
 
+    # ------------------------------------------------------ array round-trip
+
+    def export_arrays(self) -> dict:
+        """The capacity-independent plan state as plain int64 arrays.
+
+        ``demand``, ``prefix_bytes`` and ``next_occ`` are everything the
+        O(n log n) construction produces; :meth:`from_arrays` rebuilds an
+        equivalent plan from them without re-running the Fenwick pass.  The
+        per-capacity run/batch memos are *not* exported — they are cheap
+        vectorised passes each consumer re-derives for the capacities it
+        actually touches.  Used by :mod:`repro.experiments.shm` to ship the
+        plan to spawn workers through shared memory.
+        """
+        return {
+            "oids": self._oids,
+            "demand": self._demand,
+            "prefix_bytes": self.prefix_bytes,
+            "next_occ": self._ensure_next_occ(),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict, *, min_run: int = DEFAULT_MIN_RUN
+    ) -> "SegmentPlan":
+        """Rebuild a plan from :meth:`export_arrays` output (zero-copy).
+
+        ``arrays`` holds ``oids``/``demand``/``prefix_bytes``/``next_occ``
+        (shared-memory views or otherwise) of matching length.  No
+        stack-distance pass runs.
+        """
+        if min_run < 1:
+            raise ValueError("min_run must be >= 1")
+        oids = arrays["oids"]
+        n = int(oids.shape[0])
+        demand = arrays["demand"]
+        prefix = arrays["prefix_bytes"]
+        next_occ = arrays["next_occ"]
+        if demand.shape[0] != n or next_occ.shape[0] != n:
+            raise ValueError("plan arrays disagree with trace length")
+        if prefix.shape[0] != n + 1:
+            raise ValueError("prefix_bytes must have n_accesses + 1 entries")
+        plan = cls.__new__(cls)
+        plan.min_run = int(min_run)
+        plan._oids = oids
+        plan._demand = demand
+        plan.n_accesses = n
+        plan.prefix_bytes = prefix
+        plan._next_occ = next_occ
+        plan._runs = {}
+        plan._batches = {}
+        return plan
+
     # -------------------------------------------------------------- caching
+
+    def install(self, trace: Trace) -> "SegmentPlan":
+        """Attach this plan as ``trace``'s cached plan (explicitly).
+
+        Worker initialisation uses this instead of relying on
+        :meth:`for_trace` finding an inherited attribute: under ``spawn`` or
+        ``forkserver`` nothing is inherited, and an uninitialised worker
+        would silently re-run the Fenwick pass per process.
+        """
+        if self.n_accesses != trace.n_accesses:
+            raise ValueError("plan does not match trace length")
+        setattr(trace, _TRACE_CACHE_ATTR, self)
+        return self
 
     @classmethod
     def for_trace(cls, trace: Trace) -> "SegmentPlan":

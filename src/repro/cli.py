@@ -8,6 +8,9 @@ Subcommands
 ``simulate``    replay a trace through one policy/capacity
 ``experiment``  full Original/Proposal/Ideal/Belady comparison
 ``sweep``       capacity sweep for one policy (Fig.-2/6 style rows)
+``grid``        the full policies × configs × capacities grid, fanned out
+                over shared-memory workers (``--workers``,
+                ``--start-method`` fork/spawn/forkserver/inline)
 ``serve``       run the asyncio cache-node service on a trace
                 (``--metrics-port`` adds the HTTP observability side-car)
 ``loadgen``     open-loop trace replay against a running ``serve`` node
@@ -104,6 +107,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="hit rate across the paper's capacity axis")
     _add_trace_args(p)
     p.add_argument("--policy", default="lru")
+    p.add_argument("--no-segments", action="store_true",
+                   help="disable vectorised hit-run batching")
+
+    p = sub.add_parser(
+        "grid",
+        help="parallel policies × configs × capacities evaluation grid "
+             "(Figs. 6–10)",
+    )
+    _add_trace_args(p)
+    p.add_argument("--policies", nargs="+", default=None,
+                   help="replacement policies to sweep (default: the "
+                        "paper's five)")
+    p.add_argument("--fractions", nargs="+", type=float, default=None,
+                   help="capacity axis as footprint fractions (default: the "
+                        "paper's 2–20 GB sweep)")
+    p.add_argument("--metric", default="hit_rate",
+                   choices=["hit_rate", "byte_hit_rate", "file_write_rate",
+                            "byte_write_rate"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(blocks, cpus); "
+                        "0 or 1 computes inline)")
+    p.add_argument("--start-method", default=None,
+                   help="multiprocessing start method: inline, fork, spawn "
+                        "or forkserver (default: $REPRO_START_METHOD, then "
+                        "the platform default)")
     p.add_argument("--no-segments", action="store_true",
                    help="disable vectorised hit-run batching")
 
@@ -300,6 +328,31 @@ def _cmd_sweep(args) -> int:
         r = simulate(trace, make_policy(args.policy, sc.bytes, trace),
                      use_segments=not args.no_segments)
         print(f"{sc.paper_gb:9.0f} {sc.bytes / 2**20:13.1f} {r.hit_rate:9.4f}")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    from repro.experiments import (
+        POLICIES,
+        GridRunner,
+        format_sweep_table,
+        resolve_start_method,
+    )
+
+    start_method = resolve_start_method(args.start_method)  # fail fast
+    trace = _resolve_trace(args)
+    runner = GridRunner(
+        trace,
+        fractions=args.fractions,
+        policies=tuple(args.policies) if args.policies else POLICIES,
+        use_segments=not args.no_segments,
+    )
+    runner.precompute(max_workers=args.workers, start_method=start_method)
+    print(
+        format_sweep_table(
+            f"{args.metric} across the capacity axis", runner, args.metric
+        )
+    )
     return 0
 
 
@@ -533,6 +586,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "sweep": _cmd_sweep,
+    "grid": _cmd_grid,
     "analyze": _cmd_analyze,
     "report": _cmd_report,
     "serve": _cmd_serve,

@@ -11,17 +11,29 @@ independent, so the grid parallelises across processes with
 from repro.experiments.grid import (
     CONFIGS,
     POLICIES,
+    START_METHOD_ENV,
     CapacityBlock,
     GridPoint,
     GridRunner,
     format_sweep_table,
+    resolve_start_method,
+)
+from repro.experiments.shm import (
+    SharedColumnStore,
+    SharedTraceBuffer,
+    SharedTraceHandle,
 )
 
 __all__ = [
     "CONFIGS",
     "POLICIES",
+    "START_METHOD_ENV",
     "CapacityBlock",
     "GridPoint",
     "GridRunner",
+    "SharedColumnStore",
+    "SharedTraceBuffer",
+    "SharedTraceHandle",
     "format_sweep_table",
+    "resolve_start_method",
 ]

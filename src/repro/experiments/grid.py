@@ -9,20 +9,24 @@ unit of work is a **capacity block**.
 
 Blocks are independent, which makes the grid embarrassingly parallel:
 :meth:`GridRunner.precompute` fans blocks out over a
-``concurrent.futures.ProcessPoolExecutor``.  On fork-capable platforms the
-trace is inherited copy-on-write by the workers (no serialisation of the
-access arrays); results travel back as plain dataclasses.
+``concurrent.futures.ProcessPoolExecutor``.  The trace's columnar arrays,
+the memoised :class:`~repro.cache.segments.SegmentPlan`, the feature matrix
+and the re-access distances travel through
+:class:`~repro.experiments.shm.SharedTraceBuffer` — workers receive a
+compact handle and rehydrate zero-copy NumPy views, so ``fork``, ``spawn``
+and ``forkserver`` all fan out without serialising the access arrays;
+results travel back as plain dataclasses.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cache.segments import SegmentPlan
 from repro.cache.simulator import (
-    MIN_SEGMENT_COVERAGE,
     SimulationResult,
     make_policy,
     simulate,
@@ -33,17 +37,45 @@ from repro.core.criteria import solve_criteria
 from repro.core.features import extract_features
 from repro.core.labeling import one_time_labels, reaccess_distances
 from repro.core.training import train_daily_classifier
+from repro.experiments.shm import SharedTraceBuffer, SharedTraceHandle
 from repro.ml.cost_sensitive import select_cost_v
 from repro.trace.records import Trace
 
 __all__ = [
     "POLICIES",
     "CONFIGS",
+    "START_METHOD_ENV",
     "CapacityBlock",
     "GridPoint",
     "GridRunner",
     "format_sweep_table",
+    "resolve_start_method",
 ]
+
+#: Environment override for the pool start method (CI exercises the
+#: non-fork path by exporting ``REPRO_START_METHOD=spawn``).
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: ``precompute(start_method="inline")`` computes serially in-process.
+INLINE = "inline"
+
+
+def resolve_start_method(start_method: str | None = None) -> str | None:
+    """Validate and resolve the worker start method.
+
+    Explicit argument wins, then :data:`START_METHOD_ENV`, then ``None``
+    (the platform's default multiprocessing context).  Accepts ``"inline"``
+    and any method in :func:`multiprocessing.get_all_start_methods`.
+    """
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    if method is None:
+        return None
+    available = {INLINE, *multiprocessing.get_all_start_methods()}
+    if method not in available:
+        raise ValueError(
+            f"unknown start method {method!r}; choose from {sorted(available)}"
+        )
+    return method
 
 POLICIES = ("lru", "fifo", "s3lru", "arc", "lirs")
 CONFIGS = ("original", "proposal", "ideal", "belady")
@@ -89,19 +121,43 @@ class CapacityBlock:
     ideals: dict
 
 
-# Module-level worker state: populated by the pool initializer so the trace
-# is shared (copy-on-write under fork) instead of pickled per task.
+# Module-level worker state, populated *explicitly* by the pool initializer
+# from the shared-memory handle.  Nothing here is assumed to be inherited:
+# under spawn/forkserver this module is re-imported with an empty _WORKER
+# and an empty SegmentPlan trace-cache, so the initializer must rebuild
+# every piece (the latent fork-only assumption the shm layer removes).
 _WORKER: dict = {}
 
 
 def _worker_init(
-    trace: Trace, policies: tuple[str, ...], use_segments: bool
+    handle: SharedTraceHandle, policies: tuple[str, ...], use_segments: bool
 ) -> None:
-    _WORKER["trace"] = trace
-    _WORKER["policies"] = policies
+    """Attach the shared trace state in a fresh (or forked) worker.
+
+    The buffer's arrays are zero-copy views into the parent's shared-memory
+    blocks; the ``SegmentPlan`` (when the grid batches segments) arrives
+    pre-installed on the rehydrated trace, so ``simulate`` finds it through
+    ``SegmentPlan.for_trace`` without re-running the Fenwick pass.  The
+    buffer object is kept alive in ``_WORKER`` for the process lifetime —
+    its finalizer unmaps the blocks at worker exit (never unlinking: the
+    parent owns the segments).
+    """
+    buffer = SharedTraceBuffer.attach(handle)
+    _WORKER.clear()
+    _WORKER["buffer"] = buffer
+    _WORKER["trace"] = buffer.trace
+    _WORKER["policies"] = tuple(policies)
     _WORKER["use_segments"] = use_segments
-    _WORKER["distances"] = reaccess_distances(trace.object_ids)
-    _WORKER["features"] = extract_features(trace)
+    _WORKER["distances"] = (
+        buffer.distances
+        if buffer.distances is not None
+        else reaccess_distances(buffer.trace.object_ids)
+    )
+    _WORKER["features"] = (
+        buffer.features
+        if buffer.features is not None
+        else extract_features(buffer.trace)
+    )
 
 
 def _compute_block_impl(
@@ -267,41 +323,67 @@ class GridRunner:
             self._blocks[cap] = block
         return block
 
-    def precompute(self, *, max_workers: int | None = None) -> None:
+    def precompute(
+        self,
+        *,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
         """Fill every capacity block, optionally in parallel.
 
         ``max_workers=None`` resolves to ``min(n_blocks, cpu_count)``;
-        ``max_workers=0`` or ``1`` computes serially in-process.
+        ``max_workers=0`` or ``1`` computes serially in-process, as does
+        ``start_method="inline"``.
+
+        ``start_method`` picks the multiprocessing context (``fork``,
+        ``spawn``, ``forkserver`` — whatever the platform offers), falling
+        back to :data:`START_METHOD_ENV` and then the platform default.
+        Every method gets the same zero-copy fan-out: the trace columns,
+        the memoised segment plan, the feature matrix and the re-access
+        distances are exported once into shared memory and workers attach
+        views from a compact handle — no per-task (or per-worker)
+        serialisation of the trace, and bit-identical results across
+        methods.  The shared blocks are unlinked before this method
+        returns, even when a worker raises or dies.
         """
         caps = [self.capacity_bytes(f) for f in self.fractions]
         todo = [c for c in dict.fromkeys(caps) if c not in self._blocks]
         if not todo:
             return
-        if self.use_segments:
-            # One Fenwick pass + per-capacity run/promotion gathers, done in
-            # the parent so fork-based workers inherit the memoised plan
-            # copy-on-write instead of each paying for it again.
-            plan = SegmentPlan.for_trace(self.trace)
-            for cap in todo:
-                if plan.coverage(cap) >= MIN_SEGMENT_COVERAGE:
-                    plan.batches(cap)
+        method = resolve_start_method(start_method)
         if max_workers is None:
             max_workers = min(len(todo), os.cpu_count() or 1)
-        if max_workers <= 1:
+        if method == INLINE or max_workers <= 1:
             for cap in todo:
                 self._block(cap)
             return
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_worker_init,
-            initargs=(self.trace, self.policies, self.use_segments),
-        ) as pool:
-            futures = {
-                cap: pool.submit(_compute_block_worker, cap, self.training_rng)
-                for cap in todo
-            }
-            for cap, fut in futures.items():
-                self._blocks[cap] = fut.result()
+        # One Fenwick pass in the parent; workers rehydrate the plan arrays
+        # from shared memory and re-derive only their own capacities' run
+        # lists (cheap vectorised passes).
+        plan = SegmentPlan.for_trace(self.trace) if self.use_segments else None
+        buffer = SharedTraceBuffer.create(
+            self.trace,
+            plan=plan,
+            features=self._features,
+            distances=self._distances,
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_worker_init,
+                initargs=(buffer.handle, self.policies, self.use_segments),
+            ) as pool:
+                futures = {
+                    cap: pool.submit(
+                        _compute_block_worker, cap, self.training_rng
+                    )
+                    for cap in todo
+                }
+                for cap, fut in futures.items():
+                    self._blocks[cap] = fut.result()
+        finally:
+            buffer.unlink()
 
     # -------------------------------------------------------------- access
 

@@ -1,0 +1,437 @@
+"""Spawn-safe zero-copy trace fan-out over ``multiprocessing.shared_memory``.
+
+:meth:`~repro.experiments.grid.GridRunner.precompute` historically relied on
+fork copy-on-write to hand each worker the sampled trace and the memoised
+:class:`~repro.cache.segments.SegmentPlan` for free.  Under ``spawn`` or
+``forkserver`` (macOS and Windows defaults, and any explicitly-chosen
+context) nothing is inherited: every worker would re-pickle the full trace
+and re-run the O(n log n) plan construction, silently erasing the grid's
+zero-copy design.
+
+This module makes the fan-out explicit and start-method-agnostic:
+
+``SharedColumnStore``
+    The low-level block manager.  ``create()`` copies a mapping of named
+    NumPy arrays (structured or plain, any shape) into one
+    :class:`multiprocessing.shared_memory.SharedMemory` block per column and
+    yields a compact picklable :class:`StoreHandle` — block names, dtype
+    descriptors, shapes.  ``attach()`` rehydrates the handle into read-only
+    zero-copy views in any process.  Zero-length columns are carried inline
+    in the handle (POSIX shared memory cannot map empty blocks).
+
+``SharedTraceBuffer``
+    The grid-facing wrapper: exports a :class:`~repro.trace.records.Trace`'s
+    columnar arrays plus the prebuilt ``SegmentPlan`` arrays, the extracted
+    feature matrix, and the re-access distances; ``attach()`` rebuilds all
+    four zero-copy, with the plan explicitly installed as the trace's cached
+    plan so workers never recompute it.
+
+Lifecycle rules
+---------------
+* The **creating** process owns the blocks: ``close()``/``unlink()`` (or the
+  context manager, or the ``weakref.finalize`` guard that fires at garbage
+  collection and interpreter exit) removes the names from ``/dev/shm``.
+  Because creation registers with the ``resource_tracker``, even a
+  SIGKILLed owner gets its segments reaped by the tracker process.
+* **Attaching** processes only ever ``close()`` (unmap); they are
+  unregistered from the resource tracker immediately after attach, so a
+  worker exiting — or dying — never unlinks (or warns about) blocks the
+  parent still serves to its siblings.  Python 3.13+ expresses this with
+  ``track=False``; older interpreters fall back to explicit unregister.
+* ``close()`` tolerates live array views: NumPy buffers exported from the
+  mapping keep it alive until the process exits, which is safe because the
+  *name* is already unlinked — no descriptor leaks past the last view.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.cache.segments import SegmentPlan
+from repro.trace.records import Trace
+
+__all__ = [
+    "ColumnSpec",
+    "StoreHandle",
+    "SharedColumnStore",
+    "SharedTraceHandle",
+    "SharedTraceBuffer",
+]
+
+_TRACE_PREFIX = "trace."
+_PLAN_PREFIX = "plan."
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Shape/dtype metadata locating one column in shared memory.
+
+    ``shm_name`` is ``None`` for zero-length columns, which have no backing
+    block and are rebuilt as empty arrays on attach.  ``descr`` is the
+    portable dtype descriptor from :func:`numpy.lib.format.dtype_to_descr`
+    (round-trips structured dtypes such as ``ACCESS_DTYPE`` exactly).
+    """
+
+    key: str
+    shm_name: str | None
+    descr: object
+    shape: tuple[int, ...]
+
+    def dtype(self) -> np.dtype:
+        return np.lib.format.descr_to_dtype(self.descr)
+
+
+#: The complete picklable description of a store: what workers receive.
+StoreHandle = tuple  # tuple[ColumnSpec, ...]
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Open an existing block without adopting lifecycle responsibility.
+
+    Until 3.13 (``track=False``), ``SharedMemory(name=...)`` registers the
+    segment with the resource tracker even when merely attaching.  Workers
+    share the parent's tracker process, whose bookkeeping is a plain set of
+    names — so a worker *unregistering* after attach would cancel the
+    creator's registration (losing the crash-cleanup of last resort), and
+    not unregistering would make worker exits unlink blocks the parent
+    still serves.  The only safe pre-3.13 move is to suppress the
+    registration call itself for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _release_segments(segments: list, names: list, owner: bool) -> None:
+    """Finalizer body: unmap every block, unlink them when owning.
+
+    Deliberately standalone (no ``self``) so ``weakref.finalize`` can run it
+    after the store is collected and at interpreter exit.  Every step is
+    idempotent and swallows the benign failure modes: already-unlinked names
+    and mappings pinned by still-live NumPy views.
+    """
+    if owner:
+        for shm in segments:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+    for shm in segments:
+        try:
+            shm.close()
+        except BufferError:
+            # A NumPy view still exports the buffer.  The name is gone (or
+            # never owned), so deferring the unmap to process exit leaks
+            # nothing persistent.
+            pass
+    segments.clear()
+    names.clear()
+
+
+class SharedColumnStore:
+    """A named set of NumPy columns living in shared-memory blocks."""
+
+    def __init__(
+        self,
+        specs: StoreHandle,
+        segments: dict,
+        arrays: dict,
+        *,
+        owner: bool,
+    ):
+        self._specs = specs
+        self._segments = segments
+        self._arrays = arrays
+        self.owner = owner
+        # The finalizer holds the SharedMemory objects, not self: it fires
+        # when the store is collected *and* (via atexit) at interpreter
+        # shutdown, so a crashed run cannot leak /dev/shm segments.
+        self._live = list(segments.values())
+        self._names = [s.name for s in self._live]
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._live, self._names, owner
+        )
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def create(cls, arrays: dict) -> "SharedColumnStore":
+        """Copy ``arrays`` (name → ndarray) into fresh shared blocks."""
+        specs = []
+        segments: dict = {}
+        views: dict = {}
+        try:
+            for key, arr in arrays.items():
+                arr = np.asarray(arr)
+                if arr.nbytes == 0:
+                    specs.append(
+                        ColumnSpec(
+                            key=key,
+                            shm_name=None,
+                            descr=np.lib.format.dtype_to_descr(arr.dtype),
+                            shape=tuple(arr.shape),
+                        )
+                    )
+                    views[key] = arr
+                    continue
+                shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                segments[key] = shm
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                view.flags.writeable = False
+                views[key] = view
+                specs.append(
+                    ColumnSpec(
+                        key=key,
+                        shm_name=shm.name,
+                        descr=np.lib.format.dtype_to_descr(arr.dtype),
+                        shape=tuple(arr.shape),
+                    )
+                )
+        except BaseException:
+            _release_segments(list(segments.values()), [], True)
+            raise
+        return cls(tuple(specs), segments, views, owner=True)
+
+    @classmethod
+    def attach(cls, handle: StoreHandle) -> "SharedColumnStore":
+        """Rehydrate a handle into read-only zero-copy views."""
+        segments: dict = {}
+        views: dict = {}
+        try:
+            for spec in handle:
+                if spec.shm_name is None:
+                    views[spec.key] = np.empty(spec.shape, dtype=spec.dtype())
+                    views[spec.key].flags.writeable = False
+                    continue
+                shm = _attach_block(spec.shm_name)
+                segments[spec.key] = shm
+                view = np.ndarray(spec.shape, dtype=spec.dtype(), buffer=shm.buf)
+                view.flags.writeable = False
+                views[spec.key] = view
+        except BaseException:
+            _release_segments(list(segments.values()), [], False)
+            raise
+        return cls(tuple(handle), segments, views, owner=False)
+
+    # --------------------------------------------------------------- access
+
+    @property
+    def handle(self) -> StoreHandle:
+        """The compact picklable description workers attach from."""
+        return self._specs
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        """Shared-memory names currently held (for leak auditing)."""
+        return tuple(self._names)
+
+    def arrays(self) -> dict:
+        """All columns as (read-only) arrays, keyed by column name."""
+        return dict(self._arrays)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Unmap the blocks; the owner also unlinks them.  Idempotent."""
+        self._arrays = {}
+        self._finalizer()
+
+    def unlink(self) -> None:
+        """Remove the block names (owner only) and unmap."""
+        if not self.owner:
+            raise RuntimeError("only the creating store may unlink")
+        self.close()
+
+    def __enter__(self) -> "SharedColumnStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """Everything a worker needs to rebuild the trace state: a few hundred
+    bytes, regardless of trace size."""
+
+    store: StoreHandle
+    duration: float
+    n_accesses: int
+    feature_names: tuple[str, ...] | None = None
+    min_run: int | None = None
+    has_distances: bool = False
+    extra: tuple = field(default=())
+
+
+class SharedTraceBuffer:
+    """A trace (plus derived grid state) exported through shared memory.
+
+    Parent side::
+
+        with SharedTraceBuffer.create(trace, plan=plan, features=fm,
+                                      distances=d) as buf:
+            pool = ProcessPoolExecutor(..., initargs=(buf.handle, ...))
+            ...
+
+    Worker side::
+
+        buf = SharedTraceBuffer.attach(handle)
+        buf.trace       # zero-copy Trace, SegmentPlan pre-installed
+        buf.features    # FeatureMatrix view (or None)
+        buf.distances   # re-access distance array (or None)
+    """
+
+    def __init__(
+        self,
+        store: SharedColumnStore,
+        handle: SharedTraceHandle,
+        *,
+        trace: Trace | None,
+        plan: SegmentPlan | None,
+        features,
+        distances,
+    ):
+        self._store = store
+        self._handle = handle
+        self.trace = trace
+        self.plan = plan
+        self.features = features
+        self.distances = distances
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def create(
+        cls,
+        trace: Trace,
+        *,
+        plan: SegmentPlan | None = None,
+        features=None,
+        distances=None,
+    ) -> "SharedTraceBuffer":
+        """Export ``trace`` (and optional derived state) to shared memory.
+
+        ``plan`` ships as its capacity-independent arrays (see
+        :meth:`repro.cache.segments.SegmentPlan.export_arrays`);
+        ``features`` is a :class:`~repro.core.features.FeatureMatrix`;
+        ``distances`` any per-access ndarray (the grid's re-access
+        distances).
+        """
+        arrays: dict = {
+            _TRACE_PREFIX + key: arr
+            for key, arr in trace.column_arrays().items()
+        }
+        feature_names = None
+        if features is not None:
+            arrays["aux.features"] = features.X
+            feature_names = tuple(features.names)
+        if distances is not None:
+            arrays["aux.distances"] = distances
+        min_run = None
+        if plan is not None:
+            if plan.n_accesses != trace.n_accesses:
+                raise ValueError("plan does not match trace length")
+            min_run = plan.min_run
+            for key, arr in plan.export_arrays().items():
+                arrays[_PLAN_PREFIX + key] = arr
+        store = SharedColumnStore.create(arrays)
+        handle = SharedTraceHandle(
+            store=store.handle,
+            duration=trace.duration,
+            n_accesses=trace.n_accesses,
+            feature_names=feature_names,
+            min_run=min_run,
+            has_distances=distances is not None,
+        )
+        return cls(
+            store,
+            handle,
+            trace=trace,
+            plan=plan,
+            features=features,
+            distances=distances,
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedTraceHandle) -> "SharedTraceBuffer":
+        """Rebuild the trace state from a handle, entirely zero-copy."""
+        from repro.core.features import FeatureMatrix
+
+        store = SharedColumnStore.attach(handle.store)
+        try:
+            arrays = store.arrays()
+            trace_cols = {
+                key[len(_TRACE_PREFIX):]: arr
+                for key, arr in arrays.items()
+                if key.startswith(_TRACE_PREFIX)
+            }
+            trace = Trace.from_column_arrays(trace_cols, handle.duration)
+            plan = None
+            plan_cols = {
+                key[len(_PLAN_PREFIX):]: arr
+                for key, arr in arrays.items()
+                if key.startswith(_PLAN_PREFIX)
+            }
+            if plan_cols:
+                plan = SegmentPlan.from_arrays(
+                    plan_cols, min_run=handle.min_run
+                )
+                plan.install(trace)
+            features = None
+            if handle.feature_names is not None:
+                features = FeatureMatrix(
+                    X=arrays["aux.features"], names=handle.feature_names
+                )
+            distances = (
+                arrays["aux.distances"] if handle.has_distances else None
+            )
+        except BaseException:
+            store.close()
+            raise
+        return cls(
+            store,
+            handle,
+            trace=trace,
+            plan=plan,
+            features=features,
+            distances=distances,
+        )
+
+    # --------------------------------------------------------------- access
+
+    @property
+    def handle(self) -> SharedTraceHandle:
+        return self._handle
+
+    @property
+    def owner(self) -> bool:
+        return self._store.owner
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        return self._store.block_names
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._store.close()
+
+    def unlink(self) -> None:
+        self._store.unlink()
+
+    def __enter__(self) -> "SharedTraceBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

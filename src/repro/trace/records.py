@@ -11,7 +11,49 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ACCESS_DTYPE", "CATALOG_DTYPE", "Trace"]
+__all__ = [
+    "ACCESS_DTYPE",
+    "CATALOG_DTYPE",
+    "TRACE_COLUMNS",
+    "Trace",
+    "trace_pickle_count",
+    "reset_trace_pickle_count",
+]
+
+#: Columns every trace carries, in :meth:`Trace.column_arrays` order.
+TRACE_COLUMNS = (
+    "accesses",
+    "catalog",
+    "owner_active_friends",
+    "owner_avg_views",
+)
+
+# Serialisation telemetry: every pickle of a Trace bumps this counter in the
+# *pickling* process.  The shared-memory grid path is supposed to ship only a
+# compact handle to workers, so tests assert the counter stays at zero across
+# a parallel precompute (spawn serialises in the parent, where the test runs).
+_PICKLE_COUNT = 0
+
+
+def trace_pickle_count() -> int:
+    """Number of Trace pickles performed by this process since last reset."""
+    return _PICKLE_COUNT
+
+
+def reset_trace_pickle_count() -> None:
+    global _PICKLE_COUNT
+    _PICKLE_COUNT = 0
+
+
+def _rebuild_trace(accesses, catalog, active_friends, avg_views, duration, viral):
+    return Trace(
+        accesses=accesses,
+        catalog=catalog,
+        owner_active_friends=active_friends,
+        owner_avg_views=avg_views,
+        duration=duration,
+        viral_mask=viral,
+    )
 
 #: One row per request, sorted by ``timestamp``.
 ACCESS_DTYPE = np.dtype(
@@ -84,6 +126,67 @@ class Trace:
             self.catalog.shape[0],
         ):
             raise ValueError("viral_mask must have one flag per catalog object")
+
+    def __reduce__(self):
+        # Explicit reconstruction keeps the payload to the five canonical
+        # fields: the ad-hoc instance state (notably the memoised
+        # ``SegmentPlan`` attached by ``SegmentPlan.for_trace``, whose
+        # per-capacity batch lists dwarf the trace itself) must never ride
+        # along to worker processes.  Also counts pickles for the
+        # no-per-task-serialisation tests.
+        global _PICKLE_COUNT
+        _PICKLE_COUNT += 1
+        return (
+            _rebuild_trace,
+            (
+                self.accesses,
+                self.catalog,
+                self.owner_active_friends,
+                self.owner_avg_views,
+                self.duration,
+                self.viral_mask,
+            ),
+        )
+
+    # --------------------------------------------------- columnar round-trip
+
+    def column_arrays(self) -> dict:
+        """The trace's columnar arrays, keyed by canonical column name.
+
+        The mapping contains :data:`TRACE_COLUMNS` always and
+        ``"viral_mask"`` when present; together with ``duration`` it is the
+        complete round-trip state — ``from_column_arrays`` rebuilds an
+        equivalent trace from it (used by the shared-memory grid workers,
+        which rehydrate these columns as zero-copy views).
+        """
+        columns = {
+            "accesses": self.accesses,
+            "catalog": self.catalog,
+            "owner_active_friends": self.owner_active_friends,
+            "owner_avg_views": self.owner_avg_views,
+        }
+        if self.viral_mask is not None:
+            columns["viral_mask"] = self.viral_mask
+        return columns
+
+    @classmethod
+    def from_column_arrays(cls, columns: dict, duration: float) -> "Trace":
+        """Rebuild a trace from :meth:`column_arrays` output.
+
+        Arrays are adopted as-is (no copies), so views into shared memory
+        stay zero-copy.  Validation runs as usual via ``__post_init__``.
+        """
+        missing = [c for c in TRACE_COLUMNS if c not in columns]
+        if missing:
+            raise ValueError(f"missing trace columns: {missing}")
+        return cls(
+            accesses=columns["accesses"],
+            catalog=columns["catalog"],
+            owner_active_friends=columns["owner_active_friends"],
+            owner_avg_views=columns["owner_avg_views"],
+            duration=duration,
+            viral_mask=columns.get("viral_mask"),
+        )
 
     # ------------------------------------------------------------- helpers
 

@@ -1,0 +1,1 @@
+"""Tests for the experiment orchestration layer (grid + shared memory)."""

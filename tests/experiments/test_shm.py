@@ -1,0 +1,506 @@
+"""Spawn-safe shared-memory grid workers: differential, lifecycle, leaks.
+
+Four layers of guarantees:
+
+* **Round-trip** — :class:`SharedColumnStore` / :class:`SharedTraceBuffer`
+  reproduce every column (values, dtypes, order) bit-exactly, including
+  zero-length and single-request edge cases (hypothesis-driven).
+* **Differential** — ``GridRunner.precompute`` produces bit-identical grid
+  results across inline, fork, spawn and forkserver execution, for both
+  ``use_segments`` settings, with the admission-filtered Proposal/Ideal
+  configurations included (they are part of every capacity block).
+* **No hidden serialisation** — the trace never rides through pickle to the
+  workers; only the compact handle does (serialisation-counter test).
+* **No leaks** — shared blocks are unlinked after normal completion, after
+  a worker exception, and after a SIGKILLed pool child; worker
+  initialisation is explicit (nothing relies on fork inheritance).
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.segments import SegmentPlan
+from repro.core.features import FeatureMatrix, extract_features
+from repro.core.labeling import reaccess_distances
+from repro.experiments import (
+    CONFIGS,
+    GridRunner,
+    SharedColumnStore,
+    SharedTraceBuffer,
+    resolve_start_method,
+)
+from repro.experiments import grid as grid_mod
+from repro.trace import Trace, WorkloadConfig, generate_trace
+from repro.trace.records import (
+    ACCESS_DTYPE,
+    CATALOG_DTYPE,
+    reset_trace_pickle_count,
+    trace_pickle_count,
+)
+
+MP_METHODS = multiprocessing.get_all_start_methods()
+#: Every parallel start method this platform offers (differential axis).
+PARALLEL = [m for m in ("fork", "spawn", "forkserver") if m in MP_METHODS]
+#: One non-fork method, preferring spawn (the portable worst case).
+NON_FORK = next((m for m in ("spawn", "forkserver") if m in MP_METHODS), None)
+
+_GRID_KW = dict(fractions=[0.02, 0.05], policies=("lru", "lirs"))
+
+
+def _shm_blocks():
+    """Current /dev/shm psm_* names, or None where not observable."""
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+
+
+@pytest.fixture()
+def no_new_shm_blocks():
+    """Assert the test body leaves no new psm_* block behind."""
+    before = _shm_blocks()
+    yield
+    after = _shm_blocks()
+    if before is not None:
+        assert after - before == set()
+
+
+def _make_trace(seed=33, n_objects=1500, days=2.0):
+    return generate_trace(
+        WorkloadConfig(n_objects=n_objects, days=days, seed=seed)
+    )
+
+
+def _grid_fingerprint(runner):
+    """Every stat counter of every (policy, fraction, config) point."""
+    out = {}
+    for policy in runner.policies:
+        for fraction in runner.fractions:
+            point = runner.point(policy, fraction)
+            for config in CONFIGS:
+                out[(policy, fraction, config)] = point.results[config].stats
+    return out
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _make_trace()
+
+
+@pytest.fixture(scope="module")
+def inline_grid(trace):
+    runner = GridRunner(trace, **_GRID_KW)
+    runner.precompute(start_method="inline")
+    return runner
+
+
+# --------------------------------------------------------------------------
+# SharedColumnStore round-trip
+# --------------------------------------------------------------------------
+
+
+class TestSharedColumnStore:
+    def test_round_trip_mixed_dtypes(self, no_new_shm_blocks):
+        arrays = {
+            "structured": np.array(
+                [(0.5, 3, 1), (1.5, 4, 0)], dtype=ACCESS_DTYPE
+            ),
+            "floats": np.linspace(0, 1, 7),
+            "small_ints": np.arange(5, dtype=np.int8),
+            "matrix": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "empty": np.empty(0, dtype=np.int64),
+            "empty_2d": np.empty((4, 0), dtype=np.float32),
+        }
+        with SharedColumnStore.create(arrays) as store:
+            attached = SharedColumnStore.attach(store.handle)
+            got = attached.arrays()
+            assert list(got) == list(arrays)  # column order preserved
+            for key, arr in arrays.items():
+                assert got[key].dtype == arr.dtype
+                assert got[key].shape == arr.shape
+                np.testing.assert_array_equal(got[key], arr)
+            attached.close()
+
+    def test_views_are_read_only_and_zero_copy(self, no_new_shm_blocks):
+        arrays = {"col": np.arange(10, dtype=np.int64)}
+        with SharedColumnStore.create(arrays) as store:
+            attached = SharedColumnStore.attach(store.handle)
+            view = attached.arrays()["col"]
+            with pytest.raises(ValueError):
+                view[0] = 99
+            # A view over the mapped block, not a private copy of the data.
+            assert view.flags.owndata is False
+            np.testing.assert_array_equal(view, arrays["col"])
+            attached.close()
+
+    def test_handle_is_compact_and_picklable(self, no_new_shm_blocks):
+        big = {"col": np.zeros(200_000, dtype=np.float64)}
+        with SharedColumnStore.create(big) as store:
+            payload = pickle.dumps(store.handle)
+            # The whole point: metadata only, never the 1.6 MB column.
+            assert len(payload) < 2000
+
+    def test_close_is_idempotent_and_unlinks(self):
+        store = SharedColumnStore.create({"x": np.arange(4)})
+        created = set(store.block_names)
+        assert created
+        live = _shm_blocks()
+        if live is not None:
+            assert created <= live
+        store.close()
+        store.close()
+        after = _shm_blocks()
+        if after is not None:
+            assert not (created & after)
+
+    def test_attach_only_never_unlinks(self, no_new_shm_blocks):
+        store = SharedColumnStore.create({"x": np.arange(4)})
+        try:
+            attached = SharedColumnStore.attach(store.handle)
+            with pytest.raises(RuntimeError):
+                attached.unlink()
+            attached.close()
+            # Owner's block survives the attachment's close.
+            again = SharedColumnStore.attach(store.handle)
+            np.testing.assert_array_equal(
+                again.arrays()["x"], np.arange(4)
+            )
+            again.close()
+        finally:
+            store.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [np.int8, np.int64, np.float32, np.float64]
+                ),
+                st.integers(min_value=0, max_value=40),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_round_trip_property(self, data, seed):
+        rng = np.random.default_rng(seed)
+        arrays = {
+            f"col{i}": rng.integers(-100, 100, size=n).astype(dtype)
+            for i, (dtype, n) in enumerate(data)
+        }
+        with SharedColumnStore.create(arrays) as store:
+            attached = SharedColumnStore.attach(store.handle)
+            got = attached.arrays()
+            assert list(got) == list(arrays)
+            for key, arr in arrays.items():
+                assert got[key].dtype == arr.dtype
+                np.testing.assert_array_equal(got[key], arr)
+            attached.close()
+
+
+# --------------------------------------------------------------------------
+# SharedTraceBuffer round-trip
+# --------------------------------------------------------------------------
+
+
+def _random_trace(rng, n_objects, n_accesses):
+    catalog = np.zeros(n_objects, dtype=CATALOG_DTYPE)
+    catalog["size"] = rng.integers(1, 10_000, size=n_objects)
+    catalog["photo_type"] = rng.integers(0, 12, size=n_objects)
+    catalog["owner_id"] = rng.integers(0, 3, size=n_objects)
+    catalog["upload_time"] = -rng.random(n_objects) * 100.0
+    accesses = np.zeros(n_accesses, dtype=ACCESS_DTYPE)
+    accesses["timestamp"] = np.sort(rng.random(n_accesses) * 500.0)
+    accesses["object_id"] = rng.integers(0, n_objects, size=n_accesses)
+    accesses["terminal"] = rng.integers(0, 2, size=n_accesses)
+    return Trace(
+        accesses=accesses,
+        catalog=catalog,
+        owner_active_friends=rng.integers(0, 50, size=3),
+        owner_avg_views=rng.random(3) * 10,
+        duration=600.0,
+        viral_mask=(
+            rng.random(n_objects) < 0.2 if rng.random() < 0.5 else None
+        ),
+    )
+
+
+class TestTraceRoundTrip:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_objects=st.integers(min_value=1, max_value=30),
+        n_accesses=st.integers(min_value=1, max_value=80),
+    )
+    def test_trace_columns_round_trip(self, seed, n_objects, n_accesses):
+        trace = _random_trace(
+            np.random.default_rng(seed), n_objects, n_accesses
+        )
+        with SharedTraceBuffer.create(trace) as buffer:
+            attached = SharedTraceBuffer.attach(buffer.handle)
+            got = attached.trace
+            assert got.duration == trace.duration
+            originals = trace.column_arrays()
+            copies = got.column_arrays()
+            assert list(copies) == list(originals)
+            for key, arr in originals.items():
+                assert copies[key].dtype == arr.dtype
+                np.testing.assert_array_equal(copies[key], arr)
+            attached.close()
+
+    def test_single_request_trace(self, no_new_shm_blocks):
+        trace = _random_trace(np.random.default_rng(7), 1, 1)
+        with SharedTraceBuffer.create(trace) as buffer:
+            attached = SharedTraceBuffer.attach(buffer.handle)
+            assert attached.trace.n_accesses == 1
+            np.testing.assert_array_equal(
+                attached.trace.accesses, trace.accesses
+            )
+            attached.close()
+
+    def test_zero_width_feature_matrix(self, no_new_shm_blocks):
+        # A zero-length column: carried inline in the handle, since POSIX
+        # shared memory cannot map an empty block.
+        trace = _random_trace(np.random.default_rng(8), 4, 10)
+        features = FeatureMatrix(X=np.empty((10, 0)), names=())
+        with SharedTraceBuffer.create(trace, features=features) as buffer:
+            attached = SharedTraceBuffer.attach(buffer.handle)
+            assert attached.features.X.shape == (10, 0)
+            assert attached.features.names == ()
+            attached.close()
+
+    def test_plan_features_distances_round_trip(self, trace,
+                                                no_new_shm_blocks):
+        plan = SegmentPlan.for_trace(trace)
+        features = extract_features(trace)
+        distances = reaccess_distances(trace.object_ids)
+        cap = trace.footprint_bytes // 20
+        with SharedTraceBuffer.create(
+            trace, plan=plan, features=features, distances=distances
+        ) as buffer:
+            attached = SharedTraceBuffer.attach(buffer.handle)
+            # The plan is pre-installed: for_trace must find it, not rebuild.
+            assert SegmentPlan.for_trace(attached.trace) is attached.plan
+            assert attached.plan.min_run == plan.min_run
+            np.testing.assert_array_equal(
+                attached.plan.hit_runs(cap), plan.hit_runs(cap)
+            )
+            np.testing.assert_array_equal(attached.features.X, features.X)
+            assert attached.features.names == features.names
+            np.testing.assert_array_equal(attached.distances, distances)
+            # Zero-copy: views alias shared blocks, not private copies.
+            assert not attached.features.X.flags.writeable
+            attached.close()
+
+    def test_mismatched_plan_rejected(self):
+        trace = _random_trace(np.random.default_rng(9), 5, 30)
+        other = _random_trace(np.random.default_rng(10), 5, 40)
+        with pytest.raises(ValueError):
+            SharedTraceBuffer.create(trace, plan=SegmentPlan(other))
+
+
+# --------------------------------------------------------------------------
+# Cross-start-method differential grid
+# --------------------------------------------------------------------------
+
+
+class TestCrossStartMethod:
+    @pytest.mark.parametrize("method", PARALLEL)
+    def test_bit_identical_across_methods(self, method, trace, inline_grid,
+                                          no_new_shm_blocks):
+        runner = GridRunner(trace, **_GRID_KW)
+        runner.precompute(max_workers=2, start_method=method)
+        assert _grid_fingerprint(runner) == _grid_fingerprint(inline_grid)
+
+    @pytest.mark.skipif(NON_FORK is None, reason="only fork available")
+    def test_bit_identical_without_segments(self, trace, no_new_shm_blocks):
+        inline = GridRunner(trace, use_segments=False, **_GRID_KW)
+        inline.precompute(start_method="inline")
+        runner = GridRunner(trace, use_segments=False, **_GRID_KW)
+        runner.precompute(max_workers=2, start_method=NON_FORK)
+        assert _grid_fingerprint(runner) == _grid_fingerprint(inline)
+        # And the segmented inline grid agrees too (admission variants
+        # included: Proposal/Ideal are part of every block).
+        assert _grid_fingerprint(runner) == _grid_fingerprint(
+            GridRunner(trace, **_GRID_KW)
+        )
+
+    @pytest.mark.skipif(NON_FORK is None, reason="only fork available")
+    @settings(max_examples=2, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           fraction=st.sampled_from([0.01, 0.03, 0.08]))
+    def test_hypothesis_grid_configs(self, seed, fraction):
+        trace = _make_trace(seed=seed, n_objects=700, days=1.5)
+        kw = dict(fractions=[fraction], policies=("lru", "fifo"))
+        inline = GridRunner(trace, **kw)
+        inline.precompute(start_method="inline")
+        parallel = GridRunner(trace, **kw)
+        parallel.precompute(max_workers=2, start_method=NON_FORK)
+        assert _grid_fingerprint(parallel) == _grid_fingerprint(inline)
+
+    def test_no_trace_serialisation(self, trace, no_new_shm_blocks):
+        method = NON_FORK or PARALLEL[0]
+        runner = GridRunner(trace, **_GRID_KW)
+        reset_trace_pickle_count()
+        # Sanity: the counter does observe trace pickles.
+        pickle.dumps(trace)
+        assert trace_pickle_count() == 1
+        reset_trace_pickle_count()
+        runner.precompute(max_workers=2, start_method=method)
+        # Submissions serialise in this (parent) process: zero Trace
+        # pickles means workers got the trace through shared memory only.
+        assert trace_pickle_count() == 0
+
+    def test_trace_pickle_excludes_cached_plan(self, trace):
+        plan = SegmentPlan.for_trace(trace)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert getattr(clone, "_segment_plan", None) is None
+        rebuilt = SegmentPlan.for_trace(clone)
+        assert rebuilt is not plan
+        np.testing.assert_array_equal(
+            rebuilt.export_arrays()["demand"],
+            plan.export_arrays()["demand"],
+        )
+
+    def test_resolve_start_method(self, monkeypatch):
+        monkeypatch.delenv(grid_mod.START_METHOD_ENV, raising=False)
+        assert resolve_start_method(None) is None
+        assert resolve_start_method("inline") == "inline"
+        monkeypatch.setenv(grid_mod.START_METHOD_ENV, PARALLEL[0])
+        assert resolve_start_method(None) == PARALLEL[0]
+        assert resolve_start_method("inline") == "inline"  # arg wins
+        with pytest.raises(ValueError):
+            resolve_start_method("mystery-method")
+
+    def test_env_var_drives_precompute(self, trace, monkeypatch,
+                                       no_new_shm_blocks):
+        method = NON_FORK or PARALLEL[0]
+        monkeypatch.setenv(grid_mod.START_METHOD_ENV, method)
+        runner = GridRunner(
+            trace, fractions=[0.02], policies=("lru",)
+        )
+        runner.precompute(max_workers=2)
+        assert runner._blocks
+
+
+# --------------------------------------------------------------------------
+# Explicit worker initialisation (the fork-inheritance bug, fixed)
+# --------------------------------------------------------------------------
+
+
+class TestWorkerInit:
+    def test_worker_init_populates_state_zero_copy(self, trace):
+        plan = SegmentPlan.for_trace(trace)
+        features = extract_features(trace)
+        distances = reaccess_distances(trace.object_ids)
+        buffer = SharedTraceBuffer.create(
+            trace, plan=plan, features=features, distances=distances
+        )
+        saved = dict(grid_mod._WORKER)
+        try:
+            grid_mod._worker_init(buffer.handle, ("lru",), True)
+            worker = grid_mod._WORKER
+            assert worker["policies"] == ("lru",)
+            assert worker["use_segments"] is True
+            # Explicitly installed plan: no recompute on first use.
+            installed = SegmentPlan.for_trace(worker["trace"])
+            assert installed is worker["buffer"].plan
+            # All heavy state is shared views, not copies.
+            shared = worker["buffer"].block_names
+            assert shared  # the buffer really lives in shared memory
+            assert not worker["features"].X.flags.writeable
+            assert not worker["distances"].flags.writeable
+            np.testing.assert_array_equal(
+                worker["trace"].accesses, trace.accesses
+            )
+            worker["buffer"].close()
+        finally:
+            grid_mod._WORKER.clear()
+            grid_mod._WORKER.update(saved)
+            buffer.close()
+
+    def test_worker_init_derives_missing_state(self, trace):
+        # A handle without features/distances/plan still initialises; the
+        # worker derives them itself (explicitly, never via inheritance).
+        buffer = SharedTraceBuffer.create(trace)
+        saved = dict(grid_mod._WORKER)
+        try:
+            grid_mod._worker_init(buffer.handle, ("lru",), False)
+            worker = grid_mod._WORKER
+            assert worker["features"].X.shape[0] == trace.n_accesses
+            assert worker["distances"].shape[0] == trace.n_accesses
+            worker["buffer"].close()
+        finally:
+            grid_mod._WORKER.clear()
+            grid_mod._WORKER.update(saved)
+            buffer.close()
+
+
+# --------------------------------------------------------------------------
+# Leak tests
+# --------------------------------------------------------------------------
+
+
+def _kill_self(*_args):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestLeaks:
+    def test_normal_completion_unlinks(self, trace, no_new_shm_blocks):
+        runner = GridRunner(trace, fractions=[0.02], policies=("lru",))
+        runner.precompute(
+            max_workers=2, start_method=NON_FORK or PARALLEL[0]
+        )
+
+    def test_worker_exception_unlinks(self, trace, no_new_shm_blocks):
+        runner = GridRunner(
+            trace, fractions=[0.02], policies=("lru", "not-a-policy")
+        )
+        with pytest.raises(ValueError):
+            runner.precompute(
+                max_workers=2, start_method=NON_FORK or PARALLEL[0]
+            )
+
+    @pytest.mark.skipif("fork" not in MP_METHODS, reason="needs fork")
+    def test_sigkilled_grid_worker_unlinks(self, trace, monkeypatch,
+                                           no_new_shm_blocks):
+        # fork inherits the monkeypatch, so the real precompute path runs
+        # right up to the moment its worker dies mid-task.
+        monkeypatch.setattr(grid_mod, "_compute_block_worker", _kill_self)
+        runner = GridRunner(trace, fractions=[0.02], policies=("lru",))
+        with pytest.raises(BrokenProcessPool):
+            runner.precompute(max_workers=2, start_method="fork")
+
+    @pytest.mark.skipif(NON_FORK is None, reason="only fork available")
+    def test_sigkilled_spawn_worker_unlinks(self, trace, no_new_shm_blocks):
+        buffer = SharedTraceBuffer.create(trace)
+        created = set(buffer.block_names)
+        try:
+            ctx = multiprocessing.get_context(NON_FORK)
+            with pytest.raises(BrokenProcessPool):
+                with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=ctx,
+                    initializer=grid_mod._worker_init,
+                    initargs=(buffer.handle, ("lru",), True),
+                ) as pool:
+                    pool.submit(_kill_self).result()
+        finally:
+            buffer.unlink()
+        blocks = _shm_blocks()
+        if blocks is not None:
+            assert not (created & blocks)

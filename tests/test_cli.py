@@ -30,6 +30,7 @@ class TestParser:
             ["simulate", "--policy", "arc"],
             ["experiment", "--cost-v", "3"],
             ["sweep", "--policy", "lirs"],
+            ["grid", "--workers", "2", "--start-method", "inline"],
             ["serve", "--port", "0", "--no-classifier", "--retrain-period",
              "86400"],
             ["loadgen", "--rate", "5000", "--connections", "8", "--limit",
@@ -107,6 +108,29 @@ class TestCommands:
         assert main(["sweep", "--policy", "lru", *BASE]) == 0
         out = capsys.readouterr().out
         assert out.count("\n") >= 11  # header + 10 capacities
+
+    def test_grid_inline(self, capsys):
+        argv = ["grid", "--policies", "lru", "--fractions", "0.02",
+                "--start-method", "inline", *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "proposal" in out
+
+    def test_grid_parallel_spawn(self, capsys):
+        import multiprocessing
+
+        method = "spawn" if "spawn" in \
+            multiprocessing.get_all_start_methods() else "fork"
+        argv = ["grid", "--policies", "lru", "--fractions", "0.02", "0.05",
+                "--metric", "byte_write_rate", "--workers", "2",
+                "--start-method", method, *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "byte_write_rate" in out and "belady" in out
+
+    def test_grid_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError):
+            main(["grid", "--start-method", "warp-drive", *BASE])
 
     def test_analyze(self, capsys):
         assert main(["analyze", *BASE]) == 0
