@@ -1,11 +1,20 @@
-"""Bench-trend gate: diff two ``BENCH_hotpath.json`` reports in CI.
+"""Bench-trend gate: diff two benchmark JSON reports in CI.
 
-The perf-smoke job uploads its report as an artifact on every run; on the
-next run it downloads the previous report and calls this script to diff
-ns/op per component.  A component that got more than ``--threshold``
-(default 20 %) slower fails the job, which is what makes a perf
-regression *visible at the PR that introduced it* instead of months later
-in a profile.
+The perf-smoke and scenario-smoke jobs upload their reports as artifacts
+on every run; on the next run they download the previous report and call
+this script to diff it against the fresh one.  Two report kinds are
+understood, dispatched on the reports' ``"kind"`` field:
+
+* **hot-path reports** (``BENCH_hotpath.json``, no kind tag): ns/op per
+  component.  A component more than ``--threshold`` (default 20 %)
+  slower fails the job, which is what makes a perf regression *visible
+  at the PR that introduced it* instead of months later in a profile.
+* **cluster-scenario reports** (``BENCH_cluster_scenario.json``,
+  ``"kind": "cluster_scenario"``): per-phase oracle gaps — the
+  hit/write-rate distance between the faulted cluster and an idealised
+  single cache.  A phase whose absolute gap grew more than
+  ``--threshold`` beyond a small absolute slack fails: the commit made
+  failover behaviour worse, not the workload.
 
 Robustness rules, in order:
 
@@ -30,9 +39,21 @@ import os
 import sys
 from pathlib import Path
 
-__all__ = ["compare_reports", "format_markdown", "main"]
+__all__ = [
+    "compare_reports",
+    "compare_scenario_reports",
+    "format_markdown",
+    "format_scenario_markdown",
+    "main",
+]
 
 DEFAULT_THRESHOLD = 0.20
+
+SCENARIO_KIND = "cluster_scenario"
+#: Absolute slack added on top of the relative threshold when gating
+#: oracle gaps: a gap moving 0.001 → 0.002 is +100 % relative but pure
+#: noise — only growth beyond ``base*(1+threshold) + slack`` fails.
+SCENARIO_SLACK = 0.005
 
 
 def compare_reports(
@@ -123,6 +144,90 @@ def format_markdown(result: dict) -> str:
     return "\n".join(lines)
 
 
+def compare_scenario_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    slack: float = SCENARIO_SLACK,
+) -> dict:
+    """Diff per-phase oracle gaps between two cluster-scenario reports.
+
+    Phases are matched by position (the reference scenario is stable, so
+    position ≙ identity); a current run with more/fewer phases than the
+    baseline compares the common prefix and reports the difference
+    without failing.  For each phase and each of ``hit_gap``/``write_gap``
+    the *absolute* gap is compared: regression when
+    ``current > baseline * (1 + threshold) + slack``.
+    """
+    b_phases = baseline.get("phases", [])
+    c_phases = current.get("phases", [])
+    rows = []
+    regressions = []
+    for b, c in zip(b_phases, c_phases):
+        for metric in ("hit_gap", "write_gap"):
+            bv, cv = b.get(metric), c.get(metric)
+            if bv is None or cv is None:
+                continue
+            b_abs, c_abs = abs(bv), abs(cv)
+            regressed = c_abs > b_abs * (1 + threshold) + slack
+            label = f"phase{b.get('index', '?')}:{metric}"
+            rows.append(
+                {
+                    "phase": b.get("index"),
+                    "metric": metric,
+                    "active": ", ".join(c.get("active", [])) or "steady",
+                    "baseline": b_abs,
+                    "current": c_abs,
+                    "regressed": regressed,
+                }
+            )
+            if regressed:
+                regressions.append(label)
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "threshold": threshold,
+        "slack": slack,
+        "phase_count_delta": len(c_phases) - len(b_phases),
+        "baseline_equal": current.get("baseline_equal"),
+    }
+
+
+def format_scenario_markdown(result: dict) -> str:
+    """GitHub-flavoured markdown for the scenario oracle-gap trend."""
+    lines = [
+        "## Cluster-scenario oracle-gap trend",
+        "",
+        f"Threshold: gap > baseline × **{1 + result['threshold']:.2f}** + "
+        f"{result['slack']:.3f} absolute slack fails.",
+        "",
+        "| phase | metric | active | baseline | current | status |",
+        "|---:|---|---|---:|---:|---|",
+    ]
+    for row in result["rows"]:
+        status = "REGRESSION" if row["regressed"] else "ok"
+        lines.append(
+            f"| {row['phase']} | {row['metric']} | {row['active']} "
+            f"| {row['baseline']:.4f} | {row['current']:.4f} | {status} |"
+        )
+    if not result["rows"]:
+        lines.append("| _no comparable phases_ | | | | | |")
+    if result["phase_count_delta"]:
+        lines += ["", f"Phase count changed by {result['phase_count_delta']:+d} "
+                  "(scenario shape changed; only the common prefix compared)."]
+    if result.get("baseline_equal") is False:
+        lines += ["", "**Note**: the current report's pristine phases did not "
+                  "match its failure-free baseline (the benchmark itself "
+                  "fails on this)."]
+    if result["regressions"]:
+        lines += ["", "**FAILED** — oracle gap regressed: "
+                  + ", ".join(f"`{r}`" for r in result["regressions"])]
+    else:
+        lines += ["", "No phase's oracle gap regressed beyond the threshold."]
+    return "\n".join(lines)
+
+
 def _load(path: str) -> dict | None:
     p = Path(path)
     if not p.is_file():
@@ -166,8 +271,24 @@ def main(argv: list[str] | None = None) -> int:
                 fh.write(f"## Hot-path bench trend\n\n{msg}\n")
         return 0
 
-    result = compare_reports(baseline, current, threshold=args.threshold)
-    table = format_markdown(result)
+    base_kind = baseline.get("kind")
+    cur_kind = current.get("kind")
+    if SCENARIO_KIND in (base_kind, cur_kind):
+        if base_kind != cur_kind:
+            msg = (f"report kinds differ (baseline={base_kind!r}, "
+                   f"current={cur_kind!r}) — trend gate skipped")
+            print(msg)
+            if summary_path:
+                with open(summary_path, "a") as fh:
+                    fh.write(f"## Bench trend\n\n{msg}\n")
+            return 0
+        result = compare_scenario_reports(
+            baseline, current, threshold=args.threshold
+        )
+        table = format_scenario_markdown(result)
+    else:
+        result = compare_reports(baseline, current, threshold=args.threshold)
+        table = format_markdown(result)
     print(table)
     if summary_path:
         with open(summary_path, "a") as fh:

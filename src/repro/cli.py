@@ -18,6 +18,9 @@ Subcommands
                 (the TCP ``TRACE`` verb) as JSON lines
 ``bench-hotpath``  measure ns/decision through the admission hot path,
                 assert fast/reference parity, write ``BENCH_hotpath.json``
+``scenario``    deterministic fault-injection replay against the two-tier
+                cluster (node kills/restarts, hot-key floods, rolling
+                deploys) with per-phase stats and an oracle gap
 
 All commands accept either ``--trace file.npz`` or generator parameters
 (``--objects``, ``--days``, ``--seed``).  ``serve`` and ``loadgen`` must be
@@ -215,6 +218,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--components", default=None,
                    help="comma-separated measurement groups "
                         "(tree,tracker,admission,segments; default: all)")
+
+    p = sub.add_parser(
+        "scenario",
+        help="replay a fault-injection scenario against the two-tier cluster",
+    )
+    _add_trace_args(p)
+    p.add_argument("--spec", default=None,
+                   help="JSON scenario file (default: the built-in reference "
+                        "scenario — 4 nodes, replication 2, kill/restart + "
+                        "hot-key flood + rolling deploy)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="base requests for the reference scenario (default: "
+                        "the whole trace; ignored with --spec)")
+    p.add_argument("--json", default=None,
+                   help="also write the full report as JSON to this path")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the failure-free baseline replay (and its "
+                        "exact-equality check on pristine phases)")
+    p.add_argument("--no-oracle", action="store_true",
+                   help="skip the single-node oracle comparator")
 
     p = sub.add_parser(
         "trace-dump",
@@ -534,6 +557,42 @@ def _cmd_bench_hotpath(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    import json
+
+    from repro.scenario import (
+        format_report,
+        load_spec,
+        reference_scenario,
+        run_scenario,
+    )
+
+    trace = _resolve_trace(args)
+    if args.spec:
+        spec = load_spec(args.spec)
+    else:
+        requests = args.requests if args.requests else trace.n_accesses
+        spec = reference_scenario(requests, seed=args.seed)
+    report = run_scenario(
+        spec,
+        trace,
+        with_baseline=not args.no_baseline,
+        with_oracle=not args.no_oracle,
+    )
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"[report written to {args.json}]")
+    if report.baseline_checked and not report.baseline_equal:
+        print(
+            "FAILED: pristine phases diverged from the failure-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace_dump(args) -> int:
     import asyncio
 
@@ -592,6 +651,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "bench-hotpath": _cmd_bench_hotpath,
+    "scenario": _cmd_scenario,
     "trace-dump": _cmd_trace_dump,
 }
 

@@ -12,6 +12,9 @@ tiers run SSD caches, and the classification system deploys at either.
 * :mod:`repro.cluster.cluster` — the two-tier request flow, per-tier hit
   rates, inter-tier traffic, and the latency model extended with network
   hops.
+
+The fault-injecting scenario orchestrator on top of this package lives in
+:mod:`repro.scenario`.
 """
 
 from repro.cluster.hashing import ConsistentHashRing, stable_hash

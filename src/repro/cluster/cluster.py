@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.hashing import ConsistentHashRing
-from repro.cluster.node import CacheNode
+from repro.cluster.node import CacheNode, NodeStats
 from repro.config import DEFAULT_LATENCY, LatencyConstants
 from repro.trace.records import Trace
 
@@ -83,6 +83,10 @@ class ClusterResult:
     bytes_to_backend: int
     mean_latency: float
     per_node_requests: dict[str, int] = field(default_factory=dict)
+    #: SSD writes performed by OC nodes removed mid-run (kill/decommission).
+    #: Without this, a node's writes would vanish from the cluster totals
+    #: the moment it leaves the ring — totals must stay monotone.
+    retired_files_written: int = 0
 
     @property
     def oc_hit_rate(self) -> float:
@@ -113,8 +117,10 @@ class ClusterResult:
 
     @property
     def total_ssd_writes(self) -> int:
-        return self.dc.stats.files_written + sum(
-            n.stats.files_written for n in self.oc_nodes.values()
+        return (
+            self.dc.stats.files_written
+            + self.retired_files_written
+            + sum(n.stats.files_written for n in self.oc_nodes.values())
         )
 
     def summary(self) -> str:
@@ -161,6 +167,11 @@ class TwoTierCluster:
         self.ring = ConsistentHashRing(self.oc_nodes, replicas=replicas)
         self.latency = latency or ClusterLatency()
         self._registry = None
+        # Counters of nodes taken out of service: removal must never make
+        # cumulative cluster totals go backwards, so the departing node's
+        # stats object is parked here (the node itself keeps a reference —
+        # always build a *fresh* CacheNode when re-adding under a name).
+        self.retired_stats: list[NodeStats] = []
 
     def instrument(self, registry) -> None:
         """Bind every node (OC tier + DC) into one metrics registry.
@@ -177,19 +188,49 @@ class TwoTierCluster:
         for node in self.oc_nodes.values():
             node.reset()
         self.dc.reset()
+        self.retired_stats.clear()
+
+    @property
+    def retired_files_written(self) -> int:
+        """SSD writes performed by OC nodes since removed from the ring."""
+        return sum(s.files_written for s in self.retired_stats)
+
+    def oc_tier_totals(self) -> NodeStats:
+        """Cumulative OC-tier counters, *including* removed nodes.
+
+        The live-node sum alone is not monotone across a kill — the dead
+        node's history must keep counting toward cluster totals, exactly
+        as a production fleet's cumulative telemetry would.
+        """
+        total = NodeStats()
+        for stats in (
+            *(n.stats for n in self.oc_nodes.values()),
+            *self.retired_stats,
+        ):
+            total.requests += stats.requests
+            total.hits += stats.hits
+            total.bytes_requested += stats.bytes_requested
+            total.bytes_hit += stats.bytes_hit
+            total.files_written += stats.files_written
+            total.bytes_written += stats.bytes_written
+            total.admissions_denied += stats.admissions_denied
+        return total
 
     def remove_node(self, name: str) -> CacheNode:
         """Take an OC node out of service (failure / decommission).
 
         The ring is rebuilt from the survivors; consistent hashing
         guarantees only the removed node's keys are remapped.  The node's
-        cached contents are lost to the tier (its objects will re-miss).
+        cached contents are lost to the tier (its objects will re-miss),
+        but its counters are retired into :attr:`retired_stats` so
+        cumulative cluster totals stay monotone and consistent.
         """
         if name not in self.oc_nodes:
             raise KeyError(f"unknown node {name!r}")
         if len(self.oc_nodes) == 1:
             raise ValueError("cannot remove the last OC node")
         node = self.oc_nodes.pop(name)
+        self.retired_stats.append(node.stats)
         self.ring = ConsistentHashRing(self.oc_nodes, replicas=self.ring.replicas)
         return node
 
@@ -295,6 +336,7 @@ def simulate_cluster_with_events(
         bytes_to_backend=bytes_to_backend,
         mean_latency=latency_sum / n if n else 0.0,
         per_node_requests=per_node_requests,
+        retired_files_written=cluster.retired_files_written,
     )
     with np.errstate(invalid="ignore"):
         series = np.where(window_reqs > 0, window_hits / window_reqs, np.nan)

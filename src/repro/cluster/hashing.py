@@ -74,6 +74,37 @@ class ConsistentHashRing:
             idx = 0
         return self._owners[idx]
 
+    def lookup_n(self, key: str | int, n: int) -> tuple[str, ...]:
+        """The ``n`` distinct nodes owning ``key``, in preference order.
+
+        The walk continues clockwise past :meth:`lookup`'s token, skipping
+        virtual nodes of owners already collected, so ``lookup_n(key, 1)``
+        equals ``(lookup(key),)`` and replica sets are consistent under
+        membership changes: removing a node deletes only its tokens, which
+        leaves the relative walk order of every other owner untouched — a
+        key's reduced owner sequence is its full sequence with the removed
+        node struck out.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if n > len(self.nodes):
+            raise ValueError(
+                f"cannot pick {n} distinct owners from {len(self.nodes)} nodes"
+            )
+        h = stable_hash(key)
+        idx = bisect.bisect_right(self._tokens, h)
+        owners: list[str] = []
+        seen = set()
+        tokens = len(self._tokens)
+        for step in range(tokens):
+            owner = self._owners[(idx + step) % tokens]
+            if owner not in seen:
+                seen.add(owner)
+                owners.append(owner)
+                if len(owners) == n:
+                    break
+        return tuple(owners)
+
     def assignments(self, keys) -> dict[str, int]:
         """Count of keys per node — handy for balance checks."""
         counts = {n: 0 for n in self.nodes}

@@ -121,3 +121,35 @@ class CacheNode:
         if self._m_misses is not None:
             self._m_misses.inc()
         return False
+
+    def fill(self, index: int, oid: int, size: int) -> bool:
+        """Replica write-through: offer ``oid`` without serving a request.
+
+        Used by replicated routing (``repro.scenario``): the primary serves
+        the request via :meth:`request`; secondaries are *offered* the
+        object so their copies stay warm for failover.  A resident copy is
+        refreshed (recency touch); a non-resident one goes through this
+        node's own admission filter.  No request/hit counters move — only
+        write counters when an insertion happens.  Returns True iff the
+        object was written.
+        """
+        stats = self.stats
+        if oid in self.policy:
+            self.policy.access(oid, size)
+            return False
+        admit = (
+            self.admission.should_admit(index, oid, size)
+            if self.admission is not None
+            else True
+        )
+        result = self.policy.access(oid, size, admit=admit)
+        if not admit:
+            stats.admissions_denied += 1
+            if self._m_denied is not None:
+                self._m_denied.inc()
+        if result.inserted:
+            stats.files_written += 1
+            stats.bytes_written += size
+            if self._m_writes is not None:
+                self._m_writes.inc()
+        return result.inserted

@@ -440,6 +440,19 @@ class Reservoir:
         """The retained sample as an array (for percentile estimation)."""
         return np.asarray(self._samples, dtype=np.float64)
 
+    def percentile(self, q) -> float | np.ndarray:
+        """Percentile estimate(s) from the retained sample.
+
+        ``q`` is a percentile in [0, 100] or a sequence of them (as for
+        :func:`numpy.percentile`); scenario reports use ``(50, 99, 99.9)``.
+        Exact while ``count <= capacity``; 0.0 on an empty reservoir.
+        """
+        if not self._samples:
+            q_arr = np.asarray(q, dtype=np.float64)
+            return 0.0 if q_arr.ndim == 0 else np.zeros_like(q_arr)
+        out = np.percentile(self.values(), q)
+        return float(out) if np.ndim(out) == 0 else out
+
     def summary(self) -> dict:
         """count/mean/p50/p95/p99/max — count, mean and max are exact."""
         if not self.count:

@@ -1,0 +1,53 @@
+"""Deterministic fault-injecting scenario orchestrator for the cluster.
+
+This package answers the operational question the single-node figures
+cannot: *what happens to the two-tier cache when things go wrong?*  A
+declarative :class:`~repro.scenario.spec.ScenarioSpec` describes an OC
+topology (nodes, replication factor, admission configuration) and a
+timeline of timed events — node kills, cold restarts, hot-key floods,
+rolling model deploys — and :func:`~repro.scenario.engine.run_scenario`
+replays shard-aware traffic through a
+:class:`~repro.cluster.cluster.TwoTierCluster` while the timeline
+perturbs it, reporting per-phase hit/write rates, latency percentiles
+and the gap against an idealised single-cache oracle.
+
+* :mod:`repro.scenario.spec` — the spec schema, JSON loader, validation;
+* :mod:`repro.scenario.flood` — viral-burst synthesis and trace merging;
+* :mod:`repro.scenario.engine` — the replicated replay + event loop;
+* :mod:`repro.scenario.oracle` — the single-node comparator;
+* :mod:`repro.scenario.report` — phase stats, report JSON, text table.
+
+Everything is seed-deterministic: ``repro scenario --seed N`` twice gives
+byte-identical reports.
+"""
+
+from repro.scenario.engine import run_scenario
+from repro.scenario.flood import FloodInfo, apply_floods, make_flood_trace
+from repro.scenario.oracle import build_admission, run_oracle
+from repro.scenario.report import PhaseStats, ScenarioReport, format_report
+from repro.scenario.spec import (
+    ADMISSION_KINDS,
+    EVENT_KINDS,
+    EventSpec,
+    ScenarioSpec,
+    load_spec,
+    reference_scenario,
+)
+
+__all__ = [
+    "ADMISSION_KINDS",
+    "EVENT_KINDS",
+    "EventSpec",
+    "ScenarioSpec",
+    "load_spec",
+    "reference_scenario",
+    "FloodInfo",
+    "apply_floods",
+    "make_flood_trace",
+    "run_scenario",
+    "build_admission",
+    "run_oracle",
+    "PhaseStats",
+    "ScenarioReport",
+    "format_report",
+]

@@ -1,0 +1,439 @@
+"""The scenario replay engine: shard-aware traffic under a fault timeline.
+
+:func:`run_scenario` takes a :class:`~repro.scenario.spec.ScenarioSpec`
+and a base trace and produces a :class:`~repro.scenario.report.ScenarioReport`:
+
+1. **Merge** — every ``hot_key_flood`` event is synthesised and
+   interleaved into the base trace (:mod:`repro.scenario.flood`); all
+   later event triggers are converted from base- to merged-trace indices
+   through the composed displacement map.
+2. **Replay** — requests route through a
+   :class:`~repro.cluster.cluster.TwoTierCluster` with replication factor
+   ``spec.replication``: :meth:`~repro.cluster.hashing.ConsistentHashRing.lookup_n`
+   names the owners, the *primary* serves the request (so request-flow
+   counters match the unreplicated :func:`~repro.cluster.cluster.simulate_cluster`
+   exactly in steady state), and the secondaries take a write-through
+   :meth:`~repro.cluster.node.CacheNode.fill` that keeps warm standby
+   copies for failover.  Kills, restarts and per-node rolling-deploy
+   admission swaps fire between requests at their trigger indices.
+3. **Baseline** — the same merged trace replays once more with the event
+   timeline stripped; phases that end before the first fault must match
+   it with exact counter equality (checked, reported, and asserted by the
+   test suite).
+4. **Oracle** — :func:`~repro.scenario.oracle.run_oracle` replays the
+   merged trace through one aggregate-capacity cache and the per-phase
+   hit/write gap is attached to each phase.
+
+Determinism: one ``numpy.random.Generator`` seeded from ``spec.seed``
+drives flood synthesis and the admission-noise seed; phase latency
+reservoirs are seeded from ``spec.seed`` too.  Two runs of the same spec
+over the same trace produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.simulator import make_policy
+from repro.cluster.cluster import TwoTierCluster
+from repro.cluster.node import CacheNode
+from repro.core.labeling import one_time_labels
+from repro.obs.registry import Reservoir
+from repro.scenario.flood import FloodInfo, apply_floods
+from repro.scenario.oracle import build_admission, node_capacity_bytes, run_oracle
+from repro.scenario.report import PhaseStats, ScenarioReport
+from repro.scenario.spec import ScenarioSpec
+from repro.trace.records import Trace
+
+__all__ = ["run_scenario"]
+
+#: Latency samples retained per phase (Vitter reservoir; exact until then).
+_RESERVOIR_CAPACITY = 10_000
+
+
+@dataclass(frozen=True)
+class _Action:
+    """One engine-visible state change, in merged-trace coordinates."""
+
+    index: int      # fires just before this merged request is served
+    seq: int        # tie-break: spec order
+    kind: str       # "kill" | "restart" | "deploy"
+    node: str
+    admission: str | None = None  # deploy target
+
+
+@dataclass
+class _Prepared:
+    """Everything derived from (spec, trace) before any replay runs."""
+
+    merged: Trace
+    labels: np.ndarray
+    admission_seed: int
+    actions: list[_Action]
+    boundaries: list[int]
+    floods: list[FloodInfo]
+    injected: int
+    first_divergence: int | None    # merged index of the first action
+    windows: list[tuple[str, int, int]]   # (kind, start, end) merged coords
+    down_spans: dict[str, list[tuple[int, int]]]  # node → [(start, end))
+
+
+@dataclass
+class _PhaseCounters:
+    requests: int = 0
+    oc_hits: int = 0
+    dc_hits: int = 0
+    backend_reads: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    total_oc_writes: int = 0    # boundary delta of live+retired writes
+    replica_writes: int = 0
+    dc_writes: int = 0
+    admissions_denied: int = 0
+    reservoir: Reservoir = field(
+        default_factory=lambda: Reservoir(_RESERVOIR_CAPACITY)
+    )
+
+    @property
+    def primary_writes(self) -> int:
+        return self.total_oc_writes - self.replica_writes
+
+    def equal_counters(self, other: "_PhaseCounters") -> bool:
+        return (
+            self.requests == other.requests
+            and self.oc_hits == other.oc_hits
+            and self.dc_hits == other.dc_hits
+            and self.backend_reads == other.backend_reads
+            and self.bytes_requested == other.bytes_requested
+            and self.bytes_hit == other.bytes_hit
+            and self.total_oc_writes == other.total_oc_writes
+            and self.replica_writes == other.replica_writes
+            and self.dc_writes == other.dc_writes
+            and self.admissions_denied == other.admissions_denied
+        )
+
+
+def _truncate(trace: Trace, n: int) -> Trace:
+    if trace.n_accesses < n:
+        raise ValueError(
+            f"trace has {trace.n_accesses:,} requests; "
+            f"the scenario needs {n:,}"
+        )
+    if trace.n_accesses == n:
+        return trace
+    return Trace(
+        accesses=np.ascontiguousarray(trace.accesses[:n]),
+        catalog=trace.catalog,
+        owner_active_friends=trace.owner_active_friends,
+        owner_avg_views=trace.owner_avg_views,
+        duration=trace.duration,
+        viral_mask=trace.viral_mask,
+    )
+
+
+def _prepare(spec: ScenarioSpec, base_trace: Trace) -> _Prepared:
+    rng = np.random.default_rng(spec.seed)
+    base = _truncate(base_trace, spec.requests)
+    floods = [e for e in spec.events if e.kind == "hot_key_flood"]
+    merged, index_map, infos = apply_floods(base, floods, rng)
+    labels = one_time_labels(merged.object_ids, spec.m_window)
+    admission_seed = int(rng.integers(0, 2**63 - 1))
+    n_merged = merged.n_accesses
+
+    def to_merged(i: int) -> int:
+        return int(index_map[i]) if i < spec.requests else n_merged
+
+    actions: list[_Action] = []
+    seq = 0
+    for ev in spec.events:
+        if ev.kind == "node_kill":
+            actions.append(_Action(to_merged(ev.at), seq, "kill", ev.node))
+        elif ev.kind == "node_restart":
+            actions.append(_Action(to_merged(ev.at), seq, "restart", ev.node))
+        elif ev.kind == "rolling_deploy":
+            # Staggered swap: node j of k flips at at + j*length//k, in
+            # name order — the whole fleet converges inside the window.
+            for j, name in enumerate(spec.node_names):
+                at = ev.at + (j * ev.length) // spec.nodes
+                actions.append(
+                    _Action(to_merged(at), seq, "deploy", name, ev.admission)
+                )
+        seq += 1
+    actions.sort(key=lambda a: (a.index, a.seq))
+
+    bounds = {0, n_merged}
+    for ev in spec.events:
+        bounds.add(to_merged(ev.at))
+        if ev.length:
+            bounds.add(to_merged(ev.end))
+    boundaries = sorted(bounds)
+
+    windows = [
+        (ev.kind, to_merged(ev.at), to_merged(ev.end))
+        for ev in spec.events
+        if ev.length
+    ]
+    down_spans: dict[str, list[tuple[int, int]]] = {}
+    open_kill: dict[str, int] = {}
+    for ev in spec.events:  # events are sorted by trigger index
+        if ev.kind == "node_kill":
+            open_kill[ev.node] = to_merged(ev.at)
+        elif ev.kind == "node_restart":
+            start = open_kill.pop(ev.node)
+            down_spans.setdefault(ev.node, []).append((start, to_merged(ev.at)))
+    for node, start in open_kill.items():
+        down_spans.setdefault(node, []).append((start, n_merged))
+
+    return _Prepared(
+        merged=merged,
+        labels=labels,
+        admission_seed=admission_seed,
+        actions=actions,
+        boundaries=boundaries,
+        floods=infos,
+        injected=sum(f.n_injected for f in infos),
+        first_divergence=min((a.index for a in actions), default=None),
+        windows=windows,
+        down_spans=down_spans,
+    )
+
+
+def _replay(
+    spec: ScenarioSpec,
+    prep: _Prepared,
+    *,
+    with_actions: bool,
+    registry=None,
+) -> tuple[list[_PhaseCounters], TwoTierCluster]:
+    """Drive the merged trace through a fresh cluster; one counter set
+    per phase (phases are the slices between ``prep.boundaries``)."""
+    merged = prep.merged
+    node_cap = node_capacity_bytes(spec, merged)
+    dc_cap = max(1, int(spec.dc_capacity_fraction * merged.footprint_bytes))
+    # Per-node admission kind, updated by rolling deploys so a restart
+    # after a deploy comes back with the *deployed* model, not the
+    # original one (matching a real fleet, where the image is upgraded).
+    admission_kind = {name: spec.admission for name in spec.node_names}
+
+    def fresh_node(name: str) -> CacheNode:
+        return CacheNode(
+            name,
+            make_policy(spec.policy, node_cap),
+            admission=build_admission(
+                admission_kind[name], prep.labels, spec, prep.admission_seed
+            ),
+        )
+
+    cluster = TwoTierCluster(
+        {name: fresh_node(name) for name in spec.node_names},
+        CacheNode("dc", make_policy(spec.policy, dc_cap)),
+    )
+    if registry is not None:
+        cluster.instrument(registry)
+    lat = cluster.latency
+    dc = cluster.dc
+
+    def latency_constants() -> tuple[float, float, float]:
+        classified = any(
+            nd.admission is not None for nd in cluster.oc_nodes.values()
+        )
+        return (
+            lat.oc_hit(),
+            lat.dc_hit(classified_oc=classified),
+            lat.backend_read(classified_oc=classified, classified_dc=False),
+        )
+
+    actions = prep.actions if with_actions else []
+    boundaries = prep.boundaries
+    phases = [
+        _PhaseCounters(
+            reservoir=Reservoir(_RESERVOIR_CAPACITY, seed=spec.seed + pidx)
+        )
+        for pidx in range(len(boundaries) - 1)
+    ]
+
+    oids = merged.object_ids
+    sizes = merged.catalog["size"][oids]
+    oid_list = oids.tolist()
+    size_list = sizes.tolist()
+    n = len(oid_list)
+
+    owner_memo: dict[int, tuple[str, ...]] = {}
+    oc_nodes = cluster.oc_nodes
+    r_live = min(spec.replication, len(oc_nodes))
+    t_oc, t_dc, t_b = latency_constants()
+
+    next_action = 0
+    phase_idx = 0
+    ph = phases[0]
+    next_boundary = boundaries[1]
+    oc_writes_mark = 0   # total OC writes (live+retired) at phase start
+    dc_writes_mark = 0
+    denied_mark = 0
+
+    def close_phase() -> tuple[int, int, int]:
+        totals = cluster.oc_tier_totals()
+        ph.total_oc_writes = totals.files_written - oc_writes_mark
+        ph.dc_writes = dc.stats.files_written - dc_writes_mark
+        ph.admissions_denied = totals.admissions_denied - denied_mark
+        return totals.files_written, dc.stats.files_written, totals.admissions_denied
+
+    for i in range(n):
+        if i == next_boundary:
+            oc_writes_mark, dc_writes_mark, denied_mark = close_phase()
+            phase_idx += 1
+            ph = phases[phase_idx]
+            next_boundary = boundaries[phase_idx + 1]
+        while next_action < len(actions) and actions[next_action].index == i:
+            a = actions[next_action]
+            if a.kind == "kill":
+                cluster.remove_node(a.node)
+            elif a.kind == "restart":
+                cluster.add_node(fresh_node(a.node))
+            else:  # deploy: atomic per-node admission swap
+                admission_kind[a.node] = a.admission
+                live = cluster.oc_nodes.get(a.node)
+                if live is not None:
+                    live.admission = build_admission(
+                        a.admission, prep.labels, spec, prep.admission_seed
+                    )
+            owner_memo.clear()
+            oc_nodes = cluster.oc_nodes
+            r_live = min(spec.replication, len(oc_nodes))
+            t_oc, t_dc, t_b = latency_constants()
+            next_action += 1
+
+        oid = oid_list[i]
+        size = size_list[i]
+        owners = owner_memo.get(oid)
+        if owners is None:
+            owners = owner_memo[oid] = cluster.ring.lookup_n(oid, r_live)
+
+        ph.requests += 1
+        ph.bytes_requested += size
+        if oc_nodes[owners[0]].request(i, oid, size):
+            ph.oc_hits += 1
+            ph.bytes_hit += size
+            latency = t_oc
+        elif dc.request(i, oid, size):
+            ph.dc_hits += 1
+            latency = t_dc
+        else:
+            ph.backend_reads += 1
+            latency = t_b
+        ph.reservoir.add(latency)
+        for k in range(1, len(owners)):
+            if oc_nodes[owners[k]].fill(i, oid, size):
+                ph.replica_writes += 1
+
+    close_phase()
+    return phases, cluster
+
+
+def _active_tags(prep: _Prepared, start: int, end: int) -> tuple[str, ...]:
+    """Human-readable faults overlapping the phase [start, end)."""
+    tags = []
+    for kind, w_start, w_end in prep.windows:
+        if w_start < end and start < w_end:
+            tags.append(f"{kind}[{w_start},{w_end})")
+    for node, spans in sorted(prep.down_spans.items()):
+        for d_start, d_end in spans:
+            if d_start < end and start < d_end:
+                tags.append(f"{node} down")
+    return tuple(tags)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    base_trace: Trace,
+    *,
+    registry=None,
+    with_baseline: bool = True,
+    with_oracle: bool = True,
+) -> ScenarioReport:
+    """Run one scenario end to end; see the module docstring for stages.
+
+    ``with_baseline``/``with_oracle`` skip the comparison replays (each
+    costs roughly one extra pass over the merged trace) for quick smoke
+    runs; the full report needs both.
+    """
+    prep = _prepare(spec, base_trace)
+    phases_raw, _cluster = _replay(
+        spec, prep, with_actions=True, registry=registry
+    )
+
+    baseline_equal = True
+    if with_baseline:
+        baseline_raw, _ = _replay(spec, prep, with_actions=False)
+    oracle_raw = (
+        run_oracle(
+            spec, prep.merged, prep.labels, prep.boundaries, prep.admission_seed
+        )
+        if with_oracle
+        else None
+    )
+
+    boundaries = prep.boundaries
+    phases: list[PhaseStats] = []
+    for pidx, raw in enumerate(phases_raw):
+        start, end = boundaries[pidx], boundaries[pidx + 1]
+        active = _active_tags(prep, start, end)
+        pristine = (
+            prep.first_divergence is None or end <= prep.first_divergence
+        )
+        if with_baseline and pristine:
+            baseline_equal &= raw.equal_counters(baseline_raw[pidx])
+        p50, p99, p999 = (
+            float(x) for x in raw.reservoir.percentile((50, 99, 99.9))
+        )
+        phase = PhaseStats(
+            index=pidx,
+            start=start,
+            end=end,
+            active=active,
+            steady=not active,
+            pristine=pristine,
+            requests=raw.requests,
+            oc_hits=raw.oc_hits,
+            dc_hits=raw.dc_hits,
+            backend_reads=raw.backend_reads,
+            bytes_requested=raw.bytes_requested,
+            bytes_hit=raw.bytes_hit,
+            primary_writes=raw.primary_writes,
+            replica_writes=raw.replica_writes,
+            dc_writes=raw.dc_writes,
+            admissions_denied=raw.admissions_denied,
+            latency_mean=raw.reservoir.mean,
+            latency_p50=p50,
+            latency_p99=p99,
+            latency_p999=p999,
+        )
+        if oracle_raw is not None:
+            o = oracle_raw[pidx]
+            if o["requests"]:
+                phase.oracle_hit_rate = o["hits"] / o["requests"]
+                phase.oracle_write_rate = o["writes"] / o["requests"]
+        phases.append(phase)
+
+    events_applied = [
+        f"{a.kind}:{a.node}@{a.index}"
+        + (f"->{a.admission}" if a.admission else "")
+        for a in prep.actions
+    ] + [
+        f"hot_key_flood@{info.event.at}+{info.n_injected}req"
+        for info in prep.floods
+    ]
+
+    return ScenarioReport(
+        name=spec.name,
+        spec=spec.to_dict(),
+        phases=phases,
+        base_requests=spec.requests,
+        injected_requests=prep.injected,
+        merged_requests=prep.merged.n_accesses,
+        baseline_checked=with_baseline,
+        baseline_equal=baseline_equal,
+        events_applied=events_applied,
+    )

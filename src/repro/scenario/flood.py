@@ -1,0 +1,160 @@
+"""Hot-key flood synthesis: one viral owner's album slams the cluster.
+
+A ``hot_key_flood`` event injects a burst of extra requests for a small
+set of brand-new photos, all owned by a single (very popular) new owner —
+the flash-crowd pattern the paper's §3.2 workload model motivates: a photo
+goes viral, every request for it hashes to the *same* OC shard, and that
+node absorbs a disproportionate load while its neighbours idle.
+
+The burst is built as a miniature :class:`~repro.trace.records.Trace` and
+merged into the base trace with
+:func:`~repro.trace.mixer.interleave_traces`, so the flood flows through
+the exact same schema, simulators and labellers as organic traffic.
+Merging shifts base-request positions; :func:`apply_floods` therefore
+returns an **index map** (base position → merged position) that the
+engine uses to convert every later event trigger and phase boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario.spec import EventSpec
+from repro.trace.catalog import generate_catalog
+from repro.trace.mixer import interleave_traces
+from repro.trace.owners import generate_owners
+from repro.trace.records import ACCESS_DTYPE, Trace
+
+__all__ = ["FloodInfo", "make_flood_trace", "apply_floods"]
+
+#: Viral-owner boost applied to the sampled owner's observable features —
+#: the flood owner should read as a celebrity to the feature extractor.
+_OWNER_BOOST = 50.0
+
+#: Zipf-ish exponent for the per-photo request weights: a couple of photos
+#: in the album take most of the burst.
+_ZIPF_S = 0.8
+
+#: Beta(a, b) shape of request times inside the window — front-loaded, the
+#: canonical flash-crowd ramp (sharp onset, long tail).
+_BURST_SHAPE = (0.7, 1.6)
+
+
+@dataclass(frozen=True)
+class FloodInfo:
+    """Where one flood landed after merging."""
+
+    event: EventSpec
+    n_injected: int            # extra requests merged in
+    first_object_id: int       # flood photos occupy [first, first+n_photos)
+    n_photos: int
+    owner_id: int              # merged-trace id of the viral owner
+    window: tuple[float, float]  # [t0, t1) in trace seconds
+
+
+def make_flood_trace(
+    base: Trace, event: EventSpec, rng: np.random.Generator
+) -> Trace:
+    """Build the miniature burst trace for one ``hot_key_flood`` event.
+
+    The window ``[event.at, event.end)`` is interpreted in base-trace
+    request indices; its timestamps bound the burst.  ``event.intensity``
+    scales the injected volume: ``round(intensity * length)`` requests.
+    """
+    if event.kind != "hot_key_flood":
+        raise ValueError(f"not a flood event: {event.kind!r}")
+    ts = base.timestamps
+    if event.end > ts.shape[0]:
+        raise ValueError("flood window exceeds the base trace")
+    t0 = float(ts[event.at])
+    t1 = float(ts[event.end - 1])
+    n_requests = max(1, int(round(event.intensity * event.length)))
+
+    # One brand-new owner, boosted into celebrity territory so the social
+    # features (§3.2.1) see what production would see during a viral spike.
+    owner = generate_owners(1, rng)
+    owner.avg_views *= _OWNER_BOOST
+    owner.active_friends = (owner.active_friends + 1) * int(_OWNER_BOOST)
+
+    catalog = generate_catalog(
+        event.photos, owner, base.duration, rng, pre_trace_fraction=0.0
+    )
+    # The album uploads moments before the burst starts — viral photos are
+    # fresh photos (recency is the workload's dominant popularity signal).
+    lead = max(1.0, 0.01 * max(t1 - t0, 1.0))
+    catalog["upload_time"] = rng.uniform(t0 - lead, t0, size=event.photos)
+
+    # Zipf-ish album skew: photo k gets weight 1/(k+1)^s.
+    weights = 1.0 / np.arange(1, event.photos + 1, dtype=np.float64) ** _ZIPF_S
+    weights /= weights.sum()
+
+    accesses = np.empty(n_requests, dtype=ACCESS_DTYPE)
+    accesses["object_id"] = rng.choice(event.photos, size=n_requests, p=weights)
+    burst = rng.beta(*_BURST_SHAPE, size=n_requests)
+    stamps = t0 + burst * max(t1 - t0, 1e-9)
+    stamps.sort()
+    accesses["timestamp"] = stamps
+    accesses["terminal"] = (rng.random(n_requests) < 0.5).astype(np.int8)
+    order = np.argsort(accesses["timestamp"], kind="stable")
+    accesses = np.ascontiguousarray(accesses[order])
+
+    return Trace(
+        accesses=accesses,
+        catalog=catalog,
+        owner_active_friends=owner.active_friends,
+        owner_avg_views=owner.avg_views,
+        duration=base.duration,
+        viral_mask=np.ones(event.photos, dtype=bool),
+    )
+
+
+def _merge_one(
+    current: Trace, flood: Trace, event: EventSpec
+) -> tuple[Trace, np.ndarray, FloodInfo]:
+    """Interleave one flood into ``current``; map current→merged positions.
+
+    ``interleave_traces`` merge-sorts with a *stable* argsort over
+    ``concat([current, flood])``, so at equal timestamps every ``current``
+    access precedes every flood access.  A ``current`` access at position
+    ``i`` is therefore displaced by exactly the number of flood accesses
+    with a strictly smaller timestamp.
+    """
+    id_offset = current.n_objects
+    owner_offset = current.owner_avg_views.shape[0]
+    merged = interleave_traces(current, flood)
+    flood_ts = flood.timestamps  # already sorted
+    index_map = np.arange(current.n_accesses, dtype=np.int64) + np.searchsorted(
+        flood_ts, current.timestamps, side="left"
+    )
+    info = FloodInfo(
+        event=event,
+        n_injected=flood.n_accesses,
+        first_object_id=id_offset,
+        n_photos=flood.n_objects,
+        owner_id=owner_offset,  # flood trace has exactly one owner
+        window=(float(flood.timestamps[0]), float(flood.timestamps[-1])),
+    )
+    return merged, index_map, info
+
+
+def apply_floods(
+    base: Trace, events: list[EventSpec], rng: np.random.Generator
+) -> tuple[Trace, np.ndarray, list[FloodInfo]]:
+    """Inject every flood event; return the merged trace and the base map.
+
+    ``index_map[i]`` is the merged-trace position of base request ``i``
+    (identity when ``events`` is empty).  Floods are injected one at a
+    time with the displacement maps composed, so any number of
+    (non-overlapping) flood windows compose correctly.
+    """
+    index_map = np.arange(base.n_accesses, dtype=np.int64)
+    current = base
+    infos: list[FloodInfo] = []
+    for event in events:
+        flood = make_flood_trace(base, event, rng)
+        current, step_map, info = _merge_one(current, flood, event)
+        index_map = step_map[index_map]
+        infos.append(info)
+    return current, index_map, infos

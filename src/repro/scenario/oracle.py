@@ -1,0 +1,119 @@
+"""Single-node oracle comparator: how much did the faults actually cost?
+
+A scenario's hit and write rates conflate two things: the workload (hard
+phases are hard everywhere) and the cluster's condition (a cold restarted
+node loses hits the workload alone would not).  To separate them the
+comparator replays the *same merged trace* through one idealised cache of
+the cluster's **aggregate** OC capacity — no sharding, no failures, same
+replacement policy, same initial admission configuration — and reports
+per-phase hit and write rates on the same phase boundaries.
+
+The per-phase **gap** (cluster − oracle) is then the cost of distribution
+plus faults: near zero in healthy steady state (sharding splits a
+uniform workload almost losslessly), dipping when a fault is active.  CI
+tracks the gap over time (``benchmarks/bench_trend.py``): a commit that
+widens it regressed failover behaviour, not the workload.
+
+The replay mirrors :func:`repro.cache.simulator.simulate`'s admission
+branch exactly (``access_if_present`` then ``access(..., admit=ok)``), so
+oracle rates are directly comparable with every single-node figure in the
+repo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.base import AdmissionPolicy
+from repro.cache.simulator import make_policy
+from repro.core.admission import NoisyOracleAdmission, OracleAdmission
+from repro.scenario.spec import ScenarioSpec
+from repro.trace.records import Trace
+
+__all__ = ["build_admission", "node_capacity_bytes", "run_oracle"]
+
+
+def build_admission(
+    kind: str | None,
+    labels: np.ndarray,
+    spec: ScenarioSpec,
+    seed: int,
+) -> AdmissionPolicy | None:
+    """Instantiate one admission filter for a scenario replay.
+
+    All instances built with the same ``seed`` issue identical verdicts
+    (the noisy oracle draws its label flips once, from that seed), which
+    is what keeps the scenario, its failure-free baseline, and this
+    comparator bit-comparable.
+    """
+    if kind is None or kind == "none":
+        return None
+    if kind == "oracle":
+        return OracleAdmission(labels)
+    if kind == "noisy":
+        return NoisyOracleAdmission(
+            labels,
+            fn_rate=spec.noisy_fn_rate,
+            fp_rate=spec.noisy_fp_rate,
+            rng=seed,
+        )
+    raise ValueError(f"unknown admission kind {kind!r}")
+
+
+def node_capacity_bytes(spec: ScenarioSpec, trace: Trace) -> int:
+    """Per-OC-node cache capacity for a given (merged) trace."""
+    return max(1, int(spec.oc_capacity_fraction * trace.footprint_bytes))
+
+
+def run_oracle(
+    spec: ScenarioSpec,
+    merged: Trace,
+    labels: np.ndarray,
+    boundaries: list[int],
+    admission_seed: int,
+) -> list[dict]:
+    """Replay ``merged`` through one aggregate-capacity cache.
+
+    Returns one ``{"requests", "hits", "writes"}`` dict per phase (the
+    slices between consecutive ``boundaries``).
+    """
+    capacity = spec.nodes * node_capacity_bytes(spec, merged)
+    policy = make_policy(spec.policy, capacity)
+    admission = build_admission(spec.admission, labels, spec, admission_seed)
+
+    oids = merged.object_ids
+    sizes = merged.catalog["size"][oids]
+    oid_list = oids.tolist()
+    size_list = sizes.tolist()
+
+    access = policy.access
+    if admission is not None:
+        should_admit = admission.should_admit
+        on_hit = admission.on_hit
+        access_if_present = policy.access_if_present
+
+    phases: list[dict] = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        hits = writes = 0
+        if admission is None:
+            for i in range(lo, hi):
+                result = access(oid_list[i], size_list[i])
+                if result.hit:
+                    hits += 1
+                elif result.inserted:
+                    writes += 1
+        else:
+            for i in range(lo, hi):
+                oid = oid_list[i]
+                size = size_list[i]
+                result = access_if_present(oid, size)
+                if result is not None:
+                    on_hit(i, oid, size)
+                    hits += 1
+                    continue
+                ok = should_admit(i, oid, size)
+                result = access(oid, size, admit=ok)
+                if result.inserted:
+                    writes += 1
+        phases.append({"requests": hi - lo, "hits": hits, "writes": writes})
+    return phases

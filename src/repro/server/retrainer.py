@@ -97,7 +97,12 @@ class Retrainer:
 
     @property
     def retrains(self) -> int:
-        return sum(1 for rec in self.history if rec["trained"])
+        """Locally trained swaps (external :meth:`deploy_model` excluded)."""
+        return sum(
+            1
+            for rec in self.history
+            if rec["trained"] and not rec.get("deployed")
+        )
 
     async def run(self) -> None:
         """Poll the node's trace clock and retrain at each boundary."""
@@ -113,6 +118,40 @@ class Retrainer:
     async def retrain_now(self) -> dict:
         """Immediate retrain on everything observed so far (RELOAD op)."""
         return await self._retrain_at(self.node.trace_clock)
+
+    def deploy_model(self, model) -> dict:
+        """Install a pre-fitted model through the atomic-swap path.
+
+        The rolling-deploy hook: an operator (or the ``repro.scenario``
+        orchestrator driving live nodes) pushes an externally trained model
+        to this node without a local retrain.  The swap itself is
+        :meth:`CacheNode.install_model` — a single reference assignment
+        read once per micro-batch — so in a staggered fleet roll-out each
+        node flips between batches, never inside one.  Recorded in
+        :attr:`history` with ``deployed=True`` and counted under its own
+        ``trained="deploy"`` outcome label.
+        """
+        record = {
+            "t_cut": float(self.node.trace_clock),
+            "trained": True,
+            "deployed": True,
+            "n_train": 0,
+            "model_version": self.node.install_model(model),
+            "worst_window_accuracy": None,
+        }
+        self._m_retrains.labels(trained="deploy").inc()
+        logger.info(
+            "deploy at t=%.0f: version=%d",
+            record["t_cut"],
+            record["model_version"],
+            extra={
+                "t_cut": record["t_cut"],
+                "model_version": record["model_version"],
+                "deployed": True,
+            },
+        )
+        self.history.append(record)
+        return record
 
     # ---------------------------------------------------------------- inner
 

@@ -56,6 +56,31 @@ class TestCacheNode:
         node.reset()
         assert node.stats.requests == 0
 
+    def test_fill_writes_without_request_counters(self):
+        node = CacheNode("n", LRUCache(10_000))
+        assert node.fill(0, 1, 100) is True     # admitted replica write
+        assert node.fill(1, 1, 100) is False    # already resident: touch only
+        assert node.stats.files_written == 1
+        assert node.stats.requests == 0
+        assert node.stats.hits == 0
+        # The filled copy serves a later request as a normal hit.
+        assert node.request(2, 1, 100) is True
+
+    def test_fill_respects_admission(self):
+        node = CacheNode("n", LRUCache(10_000), admission=NeverAdmit())
+        assert node.fill(0, 1, 100) is False
+        assert node.stats.files_written == 0
+        assert node.stats.admissions_denied == 1
+
+    def test_fill_refreshes_recency(self):
+        node = CacheNode("n", LRUCache(250))
+        node.fill(0, 1, 100)
+        node.fill(1, 2, 100)
+        node.fill(2, 1, 100)   # touch 1 → LRU victim becomes 2
+        node.fill(3, 3, 100)   # evicts 2, not 1
+        assert node.request(4, 1, 100) is True
+        assert node.request(5, 2, 100) is False
+
 
 class TestClusterLatency:
     def test_ordering(self):

@@ -57,6 +57,68 @@ class TestTopologyMethods:
             cluster.add_node(CacheNode("oc0", LRUCache(100)))
 
 
+class TestStatsRetirement:
+    """Kill/restart must never make cumulative cluster totals go backwards."""
+
+    def test_remove_node_retires_stats(self, trace):
+        cluster = build(trace)
+        # Warm the tier so oc1 has non-zero counters, then kill it.
+        for i, oid in enumerate(trace.object_ids[:2000].tolist()):
+            name = cluster.ring.lookup(oid)
+            cluster.oc_nodes[name].request(i, oid, 100)
+        before = cluster.oc_tier_totals()
+        victim_writes = cluster.oc_nodes["oc1"].stats.files_written
+        assert victim_writes > 0
+        cluster.remove_node("oc1")
+        after = cluster.oc_tier_totals()
+        assert after.files_written == before.files_written
+        assert after.requests == before.requests
+        assert cluster.retired_files_written == victim_writes
+
+    def test_totals_monotone_across_kill_restart(self, trace):
+        """Cumulative write totals sampled across a kill + cold restart
+        must be non-decreasing at every step (the production invariant
+        for fleet-wide telemetry)."""
+        n = trace.n_accesses
+        cluster = build(trace)
+        samples = []
+
+        def sample(c):
+            samples.append(
+                c.oc_tier_totals().files_written + c.dc.stats.files_written
+            )
+
+        fp = trace.footprint_bytes
+        events = [
+            (n // 4, sample),
+            (n // 3, lambda c: c.remove_node("oc1")),
+            (n // 3, sample),
+            (n // 2, sample),
+            (2 * n // 3, lambda c: c.add_node(
+                CacheNode("oc1", LRUCache(max(1, fp // 150)))
+            )),
+            (2 * n // 3, sample),
+            (5 * n // 6, sample),
+        ]
+        result, _ = simulate_cluster_with_events(trace, cluster, events)
+        sample(cluster)
+        assert samples == sorted(samples)
+        # The final result also counts the retired node's history.
+        assert result.retired_files_written > 0
+        assert result.total_ssd_writes == samples[-1]
+
+    def test_reset_clears_retired(self, trace):
+        cluster = build(trace)
+        for i, oid in enumerate(trace.object_ids[:500].tolist()):
+            name = cluster.ring.lookup(oid)
+            cluster.oc_nodes[name].request(i, oid, 100)
+        cluster.remove_node("oc0")
+        assert cluster.retired_files_written > 0
+        cluster.reset()
+        assert cluster.retired_files_written == 0
+        assert cluster.oc_tier_totals().requests == 0
+
+
 class TestEventSimulation:
     def test_no_events_matches_plain_simulation(self, trace):
         plain = simulate_cluster(trace, build(trace))

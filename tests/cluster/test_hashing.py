@@ -77,3 +77,66 @@ class TestRing:
         ring = ConsistentHashRing(["a", "b", "c"], replicas=16)
         for key in keys:
             assert ring.lookup(key) in ("a", "b", "c")
+
+
+class TestLookupN:
+    def test_first_owner_matches_lookup(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(5)], replicas=64)
+        for key in range(500):
+            assert ring.lookup_n(key, 1) == (ring.lookup(key),)
+            assert ring.lookup_n(key, 3)[0] == ring.lookup(key)
+
+    def test_full_width_is_a_permutation(self):
+        nodes = [f"n{i}" for i in range(6)]
+        ring = ConsistentHashRing(nodes, replicas=64)
+        for key in range(200):
+            assert sorted(ring.lookup_n(key, 6)) == sorted(nodes)
+
+    def test_invalid_n(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(ValueError):
+            ring.lookup_n(1, 0)
+        with pytest.raises(ValueError):
+            ring.lookup_n(1, 3)
+
+    def test_replica_spread(self):
+        """Secondary owners must also spread, not pile on one node."""
+        ring = ConsistentHashRing([f"n{i}" for i in range(6)], replicas=128)
+        secondary = [ring.lookup_n(key, 2)[1] for key in range(20_000)]
+        counts = np.array(
+            [secondary.count(f"n{i}") for i in range(6)], dtype=float
+        )
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() < 1.6
+
+    @given(
+        keys=st.lists(st.integers(0, 10**9), min_size=1, max_size=50),
+        n=st.integers(1, 5),
+    )
+    @settings(max_examples=40)
+    def test_owners_distinct(self, keys, n):
+        ring = ConsistentHashRing([f"n{i}" for i in range(5)], replicas=32)
+        for key in keys:
+            owners = ring.lookup_n(key, n)
+            assert len(owners) == n
+            assert len(set(owners)) == n
+
+    @given(
+        keys=st.lists(st.integers(0, 10**9), min_size=1, max_size=50),
+        removed=st.integers(0, 5),
+    )
+    @settings(max_examples=40)
+    def test_ownership_stable_under_removal(self, keys, removed):
+        """Removing one node strikes it from every key's owner sequence
+        without reordering the survivors — the property that makes
+        replicated failover hit the warm standby."""
+        nodes = [f"n{i}" for i in range(6)]
+        gone = nodes[removed]
+        full = ConsistentHashRing(nodes, replicas=32)
+        reduced = ConsistentHashRing(
+            [m for m in nodes if m != gone], replicas=32
+        )
+        for key in keys:
+            before = full.lookup_n(key, 6)
+            after = reduced.lookup_n(key, 5)
+            assert after == tuple(o for o in before if o != gone)

@@ -86,6 +86,76 @@ class TestFormatMarkdown:
         assert "No component regressed" in table
 
 
+def scenario_report(gaps, *, baseline_equal=True):
+    """Minimal cluster-scenario report: ``gaps`` is [(hit_gap, write_gap)]."""
+    return {
+        "kind": "cluster_scenario",
+        "baseline_equal": baseline_equal,
+        "phases": [
+            {"index": i, "active": [], "hit_gap": hg, "write_gap": wg}
+            for i, (hg, wg) in enumerate(gaps)
+        ],
+    }
+
+
+class TestCompareScenarioReports:
+    def test_gap_growth_beyond_threshold_and_slack_fails(self):
+        base = scenario_report([(0.10, 0.05)])
+        cur = scenario_report([(0.13, 0.05)])  # 0.13 > 0.10*1.2 + 0.005
+        result = bench_trend.compare_scenario_reports(base, cur)
+        assert result["regressions"] == ["phase0:hit_gap"]
+
+    def test_slack_absorbs_noise_on_tiny_gaps(self):
+        base = scenario_report([(0.001, 0.0)])
+        cur = scenario_report([(0.004, 0.002)])  # huge relative, tiny absolute
+        result = bench_trend.compare_scenario_reports(base, cur)
+        assert result["regressions"] == []
+
+    def test_absolute_gap_compared_sign_ignored(self):
+        base = scenario_report([(-0.05, 0.02)])
+        cur = scenario_report([(0.05, -0.02)])
+        result = bench_trend.compare_scenario_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["rows"][0]["baseline"] == pytest.approx(0.05)
+
+    def test_improvement_passes(self):
+        base = scenario_report([(0.20, 0.20)])
+        cur = scenario_report([(0.05, 0.01)])
+        assert bench_trend.compare_scenario_reports(
+            base, cur
+        )["regressions"] == []
+
+    def test_null_gaps_skipped(self):
+        base = scenario_report([(None, None)])
+        cur = scenario_report([(0.9, 0.9)])
+        result = bench_trend.compare_scenario_reports(base, cur)
+        assert result["rows"] == [] and result["regressions"] == []
+
+    def test_phase_count_delta_reported_not_failed(self):
+        base = scenario_report([(0.1, 0.1), (0.1, 0.1)])
+        cur = scenario_report([(0.1, 0.1)])
+        result = bench_trend.compare_scenario_reports(base, cur)
+        assert result["phase_count_delta"] == -1
+        assert result["regressions"] == []
+
+    def test_markdown_flags_regressions_and_baseline_mismatch(self):
+        base = scenario_report([(0.10, 0.05)])
+        cur = scenario_report([(0.50, 0.05)], baseline_equal=False)
+        table = bench_trend.format_scenario_markdown(
+            bench_trend.compare_scenario_reports(base, cur)
+        )
+        assert "REGRESSION" in table and "**FAILED**" in table
+        assert "did not" in table  # baseline-mismatch note
+
+    def test_markdown_clean_run_says_so(self):
+        table = bench_trend.format_scenario_markdown(
+            bench_trend.compare_scenario_reports(
+                scenario_report([(0.1, 0.1)]), scenario_report([(0.1, 0.1)])
+            )
+        )
+        assert "No phase's oracle gap regressed" in table
+
+
 class TestMain:
     def _write(self, tmp_path, name, rep):
         p = tmp_path / name
@@ -138,3 +208,32 @@ class TestMain:
         args = ["--baseline", base, "--current", cur]
         assert bench_trend.main([*args, "--threshold", "0.05"]) == 1
         assert bench_trend.main([*args, "--threshold", "0.20"]) == 0
+
+    def test_scenario_kind_dispatch(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        base = self._write(
+            tmp_path, "base.json", scenario_report([(0.10, 0.05)])
+        )
+        clean = self._write(
+            tmp_path, "clean.json", scenario_report([(0.10, 0.05)])
+        )
+        worse = self._write(
+            tmp_path, "worse.json", scenario_report([(0.40, 0.05)])
+        )
+        assert bench_trend.main(["--baseline", base, "--current", clean]) == 0
+        assert bench_trend.main(["--baseline", base, "--current", worse]) == 1
+
+    def test_kind_mismatch_skips_gracefully(self, tmp_path, monkeypatch):
+        """A hotpath baseline against a scenario current (or vice versa)
+        is a pipeline change, not a regression — the gate steps aside."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        hotpath = self._write(tmp_path, "hot.json", report(a=100.0))
+        scenario = self._write(
+            tmp_path, "scn.json", scenario_report([(0.9, 0.9)])
+        )
+        assert bench_trend.main(
+            ["--baseline", hotpath, "--current", scenario]
+        ) == 0
+        assert bench_trend.main(
+            ["--baseline", scenario, "--current", hotpath]
+        ) == 0

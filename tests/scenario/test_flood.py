@@ -1,0 +1,128 @@
+"""Tests for hot-key flood synthesis and the base→merged index map."""
+
+import numpy as np
+import pytest
+
+from repro.scenario import EventSpec, apply_floods, make_flood_trace
+from repro.trace import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=2000, days=2.0, seed=11))
+
+
+def flood(at, length, **kw):
+    return EventSpec(kind="hot_key_flood", at=at, length=length, **kw)
+
+
+class TestMakeFloodTrace:
+    def test_volume_scales_with_intensity(self, trace):
+        rng = np.random.default_rng(1)
+        ev = flood(100, 1000, intensity=0.5, photos=8)
+        burst = make_flood_trace(trace, ev, rng)
+        assert burst.n_accesses == 500
+        assert burst.n_objects == 8
+
+    def test_single_viral_owner(self, trace):
+        burst = make_flood_trace(
+            trace, flood(100, 500, photos=4), np.random.default_rng(1)
+        )
+        assert burst.owner_avg_views.shape == (1,)
+        assert burst.viral_mask.all()
+
+    def test_timestamps_inside_window_and_sorted(self, trace):
+        ev = flood(500, 2000)
+        burst = make_flood_trace(trace, ev, np.random.default_rng(2))
+        ts = burst.timestamps
+        assert (ts[:-1] <= ts[1:]).all()
+        assert ts[0] >= float(trace.timestamps[ev.at])
+        assert ts[-1] <= float(trace.timestamps[ev.end - 1])
+
+    def test_uploads_precede_burst(self, trace):
+        ev = flood(500, 2000, photos=16)
+        burst = make_flood_trace(trace, ev, np.random.default_rng(3))
+        assert (burst.catalog["upload_time"] <=
+                float(trace.timestamps[ev.at])).all()
+
+    def test_deterministic_for_same_rng_state(self, trace):
+        ev = flood(100, 800, photos=12)
+        a = make_flood_trace(trace, ev, np.random.default_rng(5))
+        b = make_flood_trace(trace, ev, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.accesses, b.accesses)
+        np.testing.assert_array_equal(a.catalog, b.catalog)
+
+    def test_rejects_non_flood_event(self, trace):
+        ev = EventSpec(kind="node_kill", at=5, node="oc0")
+        with pytest.raises(ValueError, match="not a flood"):
+            make_flood_trace(trace, ev, np.random.default_rng(0))
+
+
+class TestApplyFloods:
+    def test_no_events_is_identity(self, trace):
+        merged, index_map, infos = apply_floods(
+            trace, [], np.random.default_rng(0)
+        )
+        assert merged is trace
+        assert infos == []
+        np.testing.assert_array_equal(
+            index_map, np.arange(trace.n_accesses)
+        )
+
+    def test_merged_length_and_info(self, trace):
+        ev = flood(100, 1000, photos=6)
+        merged, index_map, (info,) = apply_floods(
+            trace, [ev], np.random.default_rng(7)
+        )
+        assert merged.n_accesses == trace.n_accesses + info.n_injected
+        assert info.n_injected == 1000
+        assert info.n_photos == 6
+        assert info.first_object_id == trace.n_objects
+        assert info.event is ev
+
+    def test_index_map_recovers_base_requests(self, trace):
+        """merged[index_map[i]] must be exactly base request i — the
+        property every event-trigger conversion in the engine rests on."""
+        merged, index_map, _ = apply_floods(
+            trace, [flood(100, 1500)], np.random.default_rng(7)
+        )
+        assert (np.diff(index_map) > 0).all()
+        np.testing.assert_array_equal(
+            merged.object_ids[index_map], trace.object_ids
+        )
+        np.testing.assert_array_equal(
+            merged.timestamps[index_map], trace.timestamps
+        )
+
+    def test_injected_positions_are_flood_photos(self, trace):
+        merged, index_map, (info,) = apply_floods(
+            trace, [flood(100, 1500, photos=5)], np.random.default_rng(7)
+        )
+        mask = np.ones(merged.n_accesses, dtype=bool)
+        mask[index_map] = False
+        injected_oids = merged.object_ids[mask]
+        assert injected_oids.shape[0] == info.n_injected
+        assert (injected_oids >= info.first_object_id).all()
+        assert (injected_oids < info.first_object_id + info.n_photos).all()
+
+    def test_merged_timestamps_sorted(self, trace):
+        merged, _, _ = apply_floods(
+            trace, [flood(100, 1500)], np.random.default_rng(7)
+        )
+        ts = merged.timestamps
+        assert (ts[:-1] <= ts[1:]).all()
+
+    def test_two_floods_compose(self, trace):
+        n = trace.n_accesses
+        events = [flood(n // 10, n // 10), flood(n // 2, n // 10, photos=4)]
+        merged, index_map, infos = apply_floods(
+            trace, events, np.random.default_rng(13)
+        )
+        assert merged.n_accesses == n + sum(i.n_injected for i in infos)
+        np.testing.assert_array_equal(
+            merged.object_ids[index_map], trace.object_ids
+        )
+        # Distinct albums: the second flood's photos sit above the first's.
+        assert infos[1].first_object_id >= (
+            infos[0].first_object_id + infos[0].n_photos
+        )

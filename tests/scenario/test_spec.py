@@ -1,0 +1,214 @@
+"""Tests for the declarative scenario spec: validation and round-trips."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    ADMISSION_KINDS,
+    EVENT_KINDS,
+    EventSpec,
+    ScenarioSpec,
+    load_spec,
+    reference_scenario,
+)
+
+
+def spec(**kw):
+    kw.setdefault("nodes", 4)
+    kw.setdefault("requests", 10_000)
+    return ScenarioSpec(**kw)
+
+
+class TestEventSpec:
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(ValueError) as exc:
+            EventSpec(kind="meteor_strike", at=0)
+        msg = str(exc.value)
+        assert "valid kinds" in msg
+        for kind in EVENT_KINDS:
+            assert kind in msg
+
+    def test_windowed_needs_length(self):
+        with pytest.raises(ValueError, match="length"):
+            EventSpec(kind="hot_key_flood", at=10)
+        with pytest.raises(ValueError, match="length"):
+            EventSpec(kind="rolling_deploy", at=10, admission="oracle")
+
+    def test_point_event_rejects_length(self):
+        with pytest.raises(ValueError, match="point event"):
+            EventSpec(kind="node_kill", at=10, node="oc0", length=5)
+
+    def test_node_scoped_needs_node(self):
+        with pytest.raises(ValueError, match="node"):
+            EventSpec(kind="node_kill", at=10)
+        with pytest.raises(ValueError, match="node"):
+            EventSpec(kind="node_restart", at=10)
+
+    def test_flood_parameter_validation(self):
+        with pytest.raises(ValueError, match="intensity"):
+            EventSpec(kind="hot_key_flood", at=0, length=10, intensity=0.0)
+        with pytest.raises(ValueError, match="photo"):
+            EventSpec(kind="hot_key_flood", at=0, length=10, photos=0)
+
+    def test_deploy_needs_known_admission(self):
+        with pytest.raises(ValueError, match="admission"):
+            EventSpec(kind="rolling_deploy", at=0, length=10)
+        with pytest.raises(ValueError, match="admission"):
+            EventSpec(
+                kind="rolling_deploy", at=0, length=10, admission="psychic"
+            )
+        for kind in ADMISSION_KINDS:
+            EventSpec(kind="rolling_deploy", at=0, length=10, admission=kind)
+
+    def test_negative_trigger(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            EventSpec(kind="node_kill", at=-1, node="oc0")
+
+    def test_end_property(self):
+        assert EventSpec(kind="node_kill", at=7, node="oc0").end == 7
+        assert EventSpec(kind="hot_key_flood", at=7, length=3).end == 10
+
+
+class TestTimelineValidation:
+    def test_events_sorted_by_trigger(self):
+        s = spec(events=(
+            EventSpec(kind="node_kill", at=900, node="oc1"),
+            EventSpec(kind="hot_key_flood", at=100, length=50),
+        ))
+        assert [e.at for e in s.events] == [100, 900]
+
+    def test_window_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            spec(events=(
+                EventSpec(kind="hot_key_flood", at=9_990, length=100),
+            ))
+        with pytest.raises(ValueError, match="out of range"):
+            spec(events=(
+                EventSpec(kind="node_kill", at=10_000, node="oc0"),
+            ))
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            spec(events=(
+                EventSpec(kind="hot_key_flood", at=100, length=500),
+                EventSpec(kind="rolling_deploy", at=400, length=200,
+                          admission="oracle"),
+            ))
+
+    def test_adjacent_windows_allowed(self):
+        spec(events=(
+            EventSpec(kind="hot_key_flood", at=100, length=300),
+            EventSpec(kind="rolling_deploy", at=400, length=200,
+                      admission="oracle"),
+        ))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            spec(events=(EventSpec(kind="node_kill", at=5, node="oc9"),))
+
+    def test_double_kill_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            spec(events=(
+                EventSpec(kind="node_kill", at=5, node="oc1"),
+                EventSpec(kind="node_kill", at=50, node="oc1"),
+            ))
+
+    def test_restart_needs_preceding_kill(self):
+        with pytest.raises(ValueError, match="preceding kill"):
+            spec(events=(EventSpec(kind="node_restart", at=5, node="oc1"),))
+
+    def test_cannot_kill_last_node(self):
+        with pytest.raises(ValueError, match="last"):
+            spec(nodes=2, events=(
+                EventSpec(kind="node_kill", at=5, node="oc0"),
+                EventSpec(kind="node_kill", at=50, node="oc1"),
+            ))
+
+    def test_kill_restart_kill_is_legal(self):
+        spec(events=(
+            EventSpec(kind="node_kill", at=5, node="oc1"),
+            EventSpec(kind="node_restart", at=50, node="oc1"),
+            EventSpec(kind="node_kill", at=500, node="oc1"),
+        ))
+
+    def test_replication_bounds(self):
+        spec(replication=4)
+        with pytest.raises(ValueError, match="replication"):
+            spec(replication=5)
+        with pytest.raises(ValueError, match="replication"):
+            spec(replication=0)
+
+    def test_admission_kind_checked(self):
+        with pytest.raises(ValueError, match="admission"):
+            spec(admission="vibes")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        original = reference_scenario(5_000, seed=42)
+        rebuilt = ScenarioSpec.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_json_round_trip_is_identity(self):
+        original = reference_scenario(5_000, seed=7)
+        rebuilt = ScenarioSpec.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert rebuilt == original
+
+    def test_event_defaults_dropped_from_dict(self):
+        s = spec(events=(EventSpec(kind="node_kill", at=5, node="oc1"),))
+        (ev,) = s.to_dict()["events"]
+        assert ev == {"kind": "node_kill", "at": 5, "node": "oc1"}
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict({"nodes": 2, "requests": 100, "zerg": 1})
+
+    def test_unknown_event_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown event keys"):
+            ScenarioSpec.from_dict({
+                "nodes": 2,
+                "requests": 100,
+                "events": [{"kind": "node_kill", "at": 5, "node": "oc1",
+                            "severity": "high"}],
+            })
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioSpec.from_dict([1, 2, 3])
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioSpec.from_dict(
+                {"nodes": 2, "requests": 100, "events": ["boom"]}
+            )
+
+
+class TestLoadSpec:
+    def test_loads_json_file(self, tmp_path):
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps(reference_scenario(2_000).to_dict()))
+        s = load_spec(str(path))
+        assert s == reference_scenario(2_000)
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="bad.json"):
+            load_spec(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec(str(tmp_path / "nope.json"))
+
+
+class TestReferenceScenario:
+    def test_shape(self):
+        s = reference_scenario(200_000)
+        assert s.nodes == 4
+        assert s.replication == 2
+        assert sorted(e.kind for e in s.events) == sorted(EVENT_KINDS)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError, match="100"):
+            reference_scenario(50)

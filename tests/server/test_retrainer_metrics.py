@@ -69,6 +69,34 @@ class TestRetrainer:
         prefix = one_time_labels(tiny_trace.object_ids[: node.processed], m)
         assert (prefix[rows] == full[rows]).all()
 
+    def test_deploy_model_swaps_without_counting_as_retrain(self, tiny_trace):
+        """The rolling-deploy hook: an externally trained model installs
+        through the same atomic-swap path as a local retrain, is recorded
+        in history with deployed=True, and stays out of ``retrains``."""
+        from repro.core.features import PAPER_FEATURE_NAMES, extract_features
+        from repro.core.labeling import one_time_labels
+
+        node = make_node(tiny_trace, 2000)
+        retrainer = Retrainer(node)
+        seed_model = node.model
+        fm = extract_features(tiny_trace).select(PAPER_FEATURE_NAMES)
+        labels = one_time_labels(tiny_trace.object_ids, 100.0)
+        fresh = DecisionTreeClassifier(max_splits=8, rng=1).fit(fm.X, labels)
+
+        record = retrainer.deploy_model(fresh)
+        assert node.model is fresh and node.model is not seed_model
+        assert record["deployed"] and record["trained"]
+        assert record["n_train"] == 0
+        assert node.model_version == record["model_version"] == 2
+        assert retrainer.history[-1] is record
+        assert retrainer.retrains == 0  # external deploys excluded
+
+        # A local retrain afterwards still counts — and bumps the version.
+        trained = asyncio.run(retrainer.retrain_now())
+        assert trained["trained"] and not trained.get("deployed")
+        assert retrainer.retrains == 1
+        assert node.model_version == 3
+
     def test_periodic_run_fires_at_boundaries(self, tiny_trace):
         async def run():
             node = make_node(tiny_trace, tiny_trace.n_accesses)

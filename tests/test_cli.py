@@ -36,6 +36,7 @@ class TestParser:
             ["loadgen", "--rate", "5000", "--connections", "8", "--limit",
              "1000"],
             ["bench-hotpath", "--quick"],
+            ["scenario", "--requests", "500", "--no-oracle"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -150,3 +151,39 @@ class TestCommands:
         assert report["schema"] == "repro.bench_hotpath/v1"
         assert report["parity"]["identical"] is True
         assert "tree_single_compiled" in report["components"]
+
+    def test_scenario_reference(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "scenario.json"
+        argv = ["scenario", "--requests", "2000", "--json", str(output),
+                *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pristine phases vs failure-free baseline: exact match" in out
+        assert "oc1 down" in out
+        report = json.loads(output.read_text())
+        assert report["kind"] == "cluster_scenario"
+        assert report["baseline_equal"] is True
+        assert report["phases"]
+
+    def test_scenario_from_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "tiny",
+            "nodes": 2,
+            "requests": 1500,
+            "events": [{"kind": "node_kill", "at": 700, "node": "oc1"}],
+        }))
+        argv = ["scenario", "--spec", str(spec_path), "--no-oracle", *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'tiny'" in out and "exact match" in out
+
+    def test_scenario_rejects_bad_spec(self, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"nodes": 2, "requests": 100, "bogus": 1}')
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            main(["scenario", "--spec", str(spec_path), *BASE])
