@@ -29,10 +29,12 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 try:
+    from repro.obs.spans import Tracer, validate_chrome_trace
     from repro.scenario import format_report, reference_scenario, run_scenario
     from repro.trace.generator import WorkloadConfig, generate_trace
 except ImportError:  # script run without PYTHONPATH=src
     sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.obs.spans import Tracer, validate_chrome_trace
     from repro.scenario import format_report, reference_scenario, run_scenario
     from repro.trace.generator import WorkloadConfig, generate_trace
 
@@ -48,7 +50,8 @@ _ACCESSES_PER_OBJECT = 3.5
 
 
 def run_scenario_bench(
-    *, quick: bool = False, requests: int | None = None, seed: int = 0
+    *, quick: bool = False, requests: int | None = None, seed: int = 0,
+    tracer=None,
 ):
     """Build the workload, run the reference scenario, return the report."""
     if requests is None:
@@ -58,7 +61,7 @@ def run_scenario_bench(
     if trace.n_accesses < requests:  # heavy-tail draw came up short
         requests = trace.n_accesses
     spec = reference_scenario(requests, seed=seed)
-    return run_scenario(spec, trace)
+    return run_scenario(spec, trace, tracer=tracer)
 
 
 def bench_cluster_scenario(benchmark, capsys):
@@ -86,10 +89,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--output", default=str(DEFAULT_OUTPUT),
                     help="where to write BENCH_cluster_scenario.json")
+    ap.add_argument("--chrome-trace", default=None,
+                    help="also write per-phase replay spans as Chrome "
+                         "trace-event JSON to this path (Perfetto-loadable)")
     args = ap.parse_args(argv)
 
+    tracer = Tracer() if args.chrome_trace else None
     report = run_scenario_bench(
-        quick=args.quick, requests=args.requests, seed=args.seed
+        quick=args.quick, requests=args.requests, seed=args.seed,
+        tracer=tracer,
     )
     payload = report.to_dict()
     payload["quick"] = bool(args.quick)
@@ -97,10 +105,22 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, fh, indent=2)
     print(format_report(report))
     print(f"[saved to {args.output}]")
+    if tracer is not None:
+        doc = tracer.to_chrome(process_name="repro-scenario")
+        n_spans = validate_chrome_trace(doc)
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        print(f"[{n_spans} span(s) written to {args.chrome_trace}]")
 
     if not report.baseline_equal:
         print(
             "FAILED: pristine phases diverged from the failure-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if report.ledger is not None and not report.ledger["exact"]:
+        print(
+            "FAILED: write ledger does not sum to the cluster's SSD writes",
             file=sys.stderr,
         )
         return 1

@@ -1,0 +1,62 @@
+"""CI sanity check for exported Chrome trace-event JSON artifacts.
+
+``python benchmarks/check_chrome_trace.py scenario_trace.json`` loads the
+file, validates it against the subset of the Chrome trace-event schema
+this repo emits (via :func:`repro.obs.spans.validate_chrome_trace` — the
+same checks Perfetto needs to load the file), and requires at least one
+complete (``ph: "X"``) span, so an accidentally-empty export fails the
+job instead of uploading a useless artifact.
+
+Exit status: 0 valid, 1 invalid/empty/unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.obs.spans import validate_chrome_trace
+except ImportError:  # script run without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.obs.spans import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON export."
+    )
+    ap.add_argument("path", help="trace JSON file to check")
+    ap.add_argument("--min-spans", type=int, default=1,
+                    help="minimum complete ('X') events required (default 1)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"FAILED: cannot load {args.path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        n_spans = validate_chrome_trace(doc)
+    except ValueError as exc:
+        print(f"FAILED: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if n_spans < args.min_spans:
+        print(
+            f"FAILED: {args.path}: {n_spans} span(s), "
+            f"need at least {args.min_spans}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.path}: OK ({n_spans} span(s), "
+          f"{len(doc['traceEvents'])} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

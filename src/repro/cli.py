@@ -16,6 +16,8 @@ Subcommands
 ``loadgen``     open-loop trace replay against a running ``serve`` node
 ``trace-dump``  drain a serving node's sampled decision-trace ring buffer
                 (the TCP ``TRACE`` verb) as JSON lines
+``spans-dump``  drain a serving node's span ring buffer (the TCP ``SPANS``
+                verb) as Chrome trace-event JSON for Perfetto
 ``bench-hotpath``  measure ns/decision through the admission hot path,
                 assert fast/reference parity, write ``BENCH_hotpath.json``
 ``scenario``    deterministic fault-injection replay against the two-tier
@@ -177,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "TRACE ring buffer (0 disables tracing)")
     p.add_argument("--trace-capacity", type=int, default=4096,
                    help="decision-trace ring-buffer size (events kept)")
+    p.add_argument("--spans", action="store_true",
+                   help="record request-lifecycle spans (drain with "
+                        "'repro spans-dump'; off by default — the disabled "
+                        "path is a strict no-op)")
+    p.add_argument("--spans-capacity", type=int, default=16_384,
+                   help="span ring-buffer size (finished spans kept)")
     p.add_argument("--drift-window", type=int, default=10_000,
                    help="matured-verdict window size for the live drift "
                         "monitor (0 disables it)")
@@ -198,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=0)
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first LIMIT positions from --start")
+    p.add_argument("--chrome-trace", default=None,
+                   help="record client-side send/recv spans and write them "
+                        "as Chrome trace-event JSON to this path")
     _add_log_args(p)
 
     p = sub.add_parser(
@@ -217,7 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "full mode, unchecked with --quick)")
     p.add_argument("--components", default=None,
                    help="comma-separated measurement groups "
-                        "(tree,tracker,admission,segments; default: all)")
+                        "(tree,tracker,admission,segments,spans; "
+                        "default: all)")
 
     p = sub.add_parser(
         "scenario",
@@ -238,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "exact-equality check on pristine phases)")
     p.add_argument("--no-oracle", action="store_true",
                    help="skip the single-node oracle comparator")
+    p.add_argument("--chrome-trace", default=None,
+                   help="record per-phase replay spans and write them as "
+                        "Chrome trace-event JSON (loads in Perfetto)")
 
     p = sub.add_parser(
         "trace-dump",
@@ -252,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="clear the ring buffer after dumping")
     p.add_argument("--output", default=None,
                    help="write events to this file instead of stdout")
+
+    p = sub.add_parser(
+        "spans-dump",
+        help="drain a serving node's span buffer as Chrome trace-event JSON",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="the node's TCP protocol port (not the metrics port)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="at most N most-recent spans (default: all buffered)")
+    p.add_argument("--output", default=None,
+                   help="write the trace JSON to this file instead of stdout")
 
     return parser
 
@@ -428,7 +455,7 @@ def _cmd_report(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.obs import DecisionTrace, DriftMonitor, configure_logging
+    from repro.obs import DecisionTrace, DriftMonitor, Tracer, configure_logging
     from repro.server.metrics import format_metrics, metrics_snapshot
     from repro.server.node import CacheNode, NodeConfig, run_server
     from repro.server.retrainer import Retrainer, RetrainerConfig
@@ -440,6 +467,7 @@ def _cmd_serve(args) -> int:
         tracer = DecisionTrace(
             capacity=args.trace_capacity, sample_rate=args.trace_sample
         )
+    spans = Tracer(capacity=args.spans_capacity) if args.spans else None
     node = CacheNode(
         trace,
         NodeConfig(
@@ -452,6 +480,7 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
         ),
         tracer=tracer,
+        spans=spans,
     )
     if node.criteria is not None and args.drift_window > 0:
         node.drift = DriftMonitor(
@@ -492,12 +521,13 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     import asyncio
 
-    from repro.obs import configure_logging
+    from repro.obs import Tracer, configure_logging
     from repro.server.loadgen import LoadgenConfig, run_loadgen
     from repro.server.metrics import format_metrics
 
     configure_logging(args.log_level, json_format=args.log_json)
     trace = _resolve_trace(args)
+    tracer = Tracer() if args.chrome_trace else None
     result = asyncio.run(
         run_loadgen(
             trace,
@@ -509,8 +539,11 @@ def _cmd_loadgen(args) -> int:
                 start=args.start,
                 limit=args.limit,
             ),
+            tracer=tracer,
         )
     )
+    if tracer is not None:
+        _write_chrome_trace(tracer, args.chrome_trace, "repro-loadgen")
     print(result.summary())
     if result.server_stats is not None:
         print("\nserver STATS snapshot:")
@@ -557,9 +590,23 @@ def _cmd_bench_hotpath(args) -> int:
     return 0
 
 
+def _write_chrome_trace(tracer, path: str, process_name: str) -> None:
+    """Validate and write a tracer's buffer as Chrome trace-event JSON."""
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    doc = tracer.to_chrome(process_name=process_name)
+    n_spans = validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    print(f"[{n_spans} span(s) written to {path} — open in ui.perfetto.dev]")
+
+
 def _cmd_scenario(args) -> int:
     import json
 
+    from repro.obs import Tracer
     from repro.scenario import (
         format_report,
         load_spec,
@@ -573,20 +620,30 @@ def _cmd_scenario(args) -> int:
     else:
         requests = args.requests if args.requests else trace.n_accesses
         spec = reference_scenario(requests, seed=args.seed)
+    tracer = Tracer() if args.chrome_trace else None
     report = run_scenario(
         spec,
         trace,
         with_baseline=not args.no_baseline,
         with_oracle=not args.no_oracle,
+        tracer=tracer,
     )
     print(format_report(report))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"[report written to {args.json}]")
+    if tracer is not None:
+        _write_chrome_trace(tracer, args.chrome_trace, "repro-scenario")
     if report.baseline_checked and not report.baseline_equal:
         print(
             "FAILED: pristine phases diverged from the failure-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if report.ledger is not None and not report.ledger["exact"]:
+        print(
+            "FAILED: write ledger does not sum to the cluster's SSD writes",
             file=sys.stderr,
         )
         return 1
@@ -639,6 +696,54 @@ def _cmd_trace_dump(args) -> int:
     return 0
 
 
+def _cmd_spans_dump(args) -> int:
+    import asyncio
+    import json
+
+    from repro.obs import chrome_trace, validate_chrome_trace
+    from repro.server.protocol import read_message, write_message
+
+    async def _dump() -> dict:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        try:
+            request = {"op": "SPANS"}
+            if args.limit is not None:
+                request["limit"] = args.limit
+            await write_message(writer, request)
+            msg = await read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if msg is None or not msg.get("ok"):
+            error = (msg or {}).get("error", "connection closed")
+            raise ConnectionError(error)
+        return msg
+
+    try:
+        msg = asyncio.run(_dump())
+    except (ConnectionError, OSError) as exc:
+        print(f"spans-dump failed: {exc}", file=sys.stderr)
+        return 1
+    doc = chrome_trace(msg["spans"], process_name="repro-serve")
+    n_spans = validate_chrome_trace(doc)
+    text = json.dumps(doc)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    print(
+        f"{n_spans} span(s) dumped "
+        f"(recorded {msg['recorded']:,}, dropped {msg['dropped']:,}, "
+        f"capacity {msg['capacity']:,}) — open in ui.perfetto.dev",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
@@ -653,6 +758,7 @@ _COMMANDS = {
     "bench-hotpath": _cmd_bench_hotpath,
     "scenario": _cmd_scenario,
     "trace-dump": _cmd_trace_dump,
+    "spans-dump": _cmd_spans_dump,
 }
 
 

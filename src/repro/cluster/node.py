@@ -53,6 +53,18 @@ class CacheNode:
         self._m_misses = None
         self._m_writes = None
         self._m_denied = None
+        # Write provenance (see :meth:`bind_ledger`): when a ledger is
+        # bound, every insertion is recorded under ``write_cause`` (the
+        # router sets it per request — flood / rewarm / default accept;
+        # :meth:`fill` always records ``replica_fill``) with ``model_label``
+        # naming the admission policy that made the call, and every denial
+        # becomes an avoided write.  ``None`` keeps the hot path untouched.
+        self.ledger = None
+        self.write_cause = "admission_accept"
+        self.model_label = "none"
+        #: Merged-trace index at which this incarnation cold-started, or
+        #: ``None`` for an original node (rewarm-cause detection).
+        self.restarted_at: int | None = None
 
     def instrument(self, registry) -> None:
         """Bind this node's counters into an obs metrics registry.
@@ -78,6 +90,19 @@ class CacheNode:
             "Cluster-node admission denials by node.",
             ("node",),
         ).labels(node=self.name)
+
+    def bind_ledger(
+        self,
+        ledger,
+        *,
+        model_label: str | None = None,
+        restarted_at: int | None = None,
+    ) -> None:
+        """Attach a :class:`~repro.obs.ledger.WriteLedger` to this node."""
+        self.ledger = ledger
+        if model_label is not None:
+            self.model_label = model_label
+        self.restarted_at = restarted_at
 
     def reset(self) -> None:
         """Clear counters and admission state.
@@ -113,11 +138,17 @@ class CacheNode:
             stats.admissions_denied += 1
             if self._m_denied is not None:
                 self._m_denied.inc()
+            if self.ledger is not None:
+                self.ledger.record_avoided(size, model=self.model_label)
         if result.inserted:
             stats.files_written += 1
             stats.bytes_written += size
             if self._m_writes is not None:
                 self._m_writes.inc()
+            if self.ledger is not None:
+                self.ledger.record_write(
+                    self.write_cause, size, model=self.model_label
+                )
         if self._m_misses is not None:
             self._m_misses.inc()
         return False
@@ -147,9 +178,15 @@ class CacheNode:
             stats.admissions_denied += 1
             if self._m_denied is not None:
                 self._m_denied.inc()
+            if self.ledger is not None:
+                self.ledger.record_avoided(size, model=self.model_label)
         if result.inserted:
             stats.files_written += 1
             stats.bytes_written += size
             if self._m_writes is not None:
                 self._m_writes.inc()
+            if self.ledger is not None:
+                self.ledger.record_write(
+                    "replica_fill", size, model=self.model_label
+                )
         return result.inserted

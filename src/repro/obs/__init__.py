@@ -11,6 +11,13 @@ The substrate every benchmark and robustness change reports through:
   (``repro serve --metrics-port``).
 * :mod:`repro.obs.tracing`   — sampled ring-buffered per-decision event
   log, drained via the TCP ``TRACE`` verb / ``repro trace-dump``.
+* :mod:`repro.obs.spans`     — dependency-free span tracer
+  (``perf_counter_ns`` intervals, contextvar track propagation, bounded
+  ring, strict no-op when disabled) with Chrome trace-event export,
+  drained via the TCP ``SPANS`` verb / ``repro spans-dump``.
+* :mod:`repro.obs.ledger`    — :class:`~repro.obs.ledger.WriteLedger`,
+  exact per-cause / per-model SSD write provenance plus avoided-write
+  (denial) accounting.
 * :mod:`repro.obs.drift`     — live windowed admission-verdict quality
   with matured labels, gauges, and a pluggable drift alarm (the
   retrainer's observable trigger).
@@ -22,6 +29,7 @@ See ``docs/OBSERVABILITY.md`` for the metric catalogue and schemas.
 
 from repro.obs.drift import DriftMonitor
 from repro.obs.exporter import MetricsExporter
+from repro.obs.ledger import CAUSES, WriteLedger
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -30,6 +38,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     Reservoir,
     latency_buckets,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    chrome_trace,
+    validate_chrome_trace,
 )
 from repro.obs.structlog import (
     JsonLogFormatter,
@@ -42,6 +58,14 @@ from repro.obs.tracing import EVENT_FIELDS, DecisionTrace
 __all__ = [
     "DriftMonitor",
     "MetricsExporter",
+    "CAUSES",
+    "WriteLedger",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "validate_chrome_trace",
     "Counter",
     "Gauge",
     "Histogram",

@@ -79,8 +79,9 @@ PAPER_T_CLASSIFY_US = 0.4
 
 #: Selectable measurement groups (``--components``): feature tracker,
 #: single-row/batch tree inference, end-to-end admission (incl. the
-#: fast/reference decision-parity replay), and the segmented simulator.
-COMPONENT_GROUPS = ("tree", "tracker", "admission", "segments")
+#: fast/reference decision-parity replay), the segmented simulator, and
+#: the span tracer's enabled vs disabled (no-op) record path.
+COMPONENT_GROUPS = ("tree", "tracker", "admission", "segments", "spans")
 
 #: Default scales: full mode targets the acceptance floor of a ≥100k-request
 #: parity replay; quick mode is the CI smoke size.
@@ -405,6 +406,9 @@ def run_hotpath_bench(
     if "segments" in groups:
         report["segments"] = _bench_segments(seed, quick, out)
 
+    if "spans" in groups:
+        _bench_spans(out, budget_seconds)
+
     return report
 
 
@@ -452,6 +456,40 @@ def _bench_segments(seed: int, quick: bool, out: dict) -> dict:
         "min_run": plan.min_run,
         "parity": _segment_parity(seg_trace, seg_cap, plan),
     }
+
+
+def _bench_spans(out: dict, budget_seconds: float) -> None:
+    """Span-tracer overhead: enabled record path vs the disabled no-op.
+
+    The disabled path is what every instrumented hot loop pays when
+    tracing is off (``tracer.span`` returning :data:`NULL_SPAN` without
+    touching the clock or the ring), so it is the number the CI trend
+    gate watches; the enabled path prices turning tracing on.
+    """
+    from repro.obs.spans import Tracer
+
+    rows = list(range(256))
+    enabled = Tracer(capacity=4096)
+
+    def record_enabled(i):
+        with enabled.span("bench", "perf"):
+            pass
+
+    ref_ns, ref_ops = _bench_loop(
+        record_enabled, rows, budget_seconds=budget_seconds
+    )
+    out["spans_enabled_reference"] = _component(ref_ns, ref_ops)
+
+    disabled = Tracer(capacity=4096, enabled=False)
+
+    def record_disabled(i):
+        with disabled.span("bench", "perf"):
+            pass
+
+    noop_ns, noop_ops = _bench_loop(
+        record_disabled, rows, budget_seconds=budget_seconds
+    )
+    out["spans_disabled_noop"] = _component(noop_ns, noop_ops, ref_ns)
 
 
 # ----------------------------------------------------------------- reporting

@@ -32,6 +32,7 @@ over the same trace produce byte-identical reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.cache.simulator import make_policy
 from repro.cluster.cluster import TwoTierCluster
 from repro.cluster.node import CacheNode
 from repro.core.labeling import one_time_labels
+from repro.obs.ledger import WriteLedger
 from repro.obs.registry import Reservoir
 from repro.scenario.flood import FloodInfo, apply_floods
 from repro.scenario.oracle import build_admission, node_capacity_bytes, run_oracle
@@ -78,6 +80,8 @@ class _Prepared:
     first_divergence: int | None    # merged index of the first action
     windows: list[tuple[str, int, int]]   # (kind, start, end) merged coords
     down_spans: dict[str, list[tuple[int, int]]]  # node → [(start, end))
+    flood_mask: np.ndarray          # merged request injected by a flood?
+    first_seen: np.ndarray          # merged index of each oid's first access
 
 
 @dataclass
@@ -92,6 +96,10 @@ class _PhaseCounters:
     replica_writes: int = 0
     dc_writes: int = 0
     admissions_denied: int = 0
+    # Ledger deltas (main replay only; the baseline carries no ledger).
+    writes_by_cause: dict[str, int] | None = None
+    avoided_writes: int = 0
+    avoided_bytes: int = 0
     reservoir: Reservoir = field(
         default_factory=lambda: Reservoir(_RESERVOIR_CAPACITY)
     )
@@ -141,6 +149,16 @@ def _prepare(spec: ScenarioSpec, base_trace: Trace) -> _Prepared:
     labels = one_time_labels(merged.object_ids, spec.m_window)
     admission_seed = int(rng.integers(0, 2**63 - 1))
     n_merged = merged.n_accesses
+    # Provenance inputs for the write ledger: a merged position is
+    # flood-injected iff it is *not* the image of a base position, and an
+    # access re-warms a restarted node iff its oid was first requested
+    # before that node's restart index.
+    flood_mask = np.ones(n_merged, dtype=bool)
+    flood_mask[index_map] = False
+    _, first_idx, inverse = np.unique(
+        merged.object_ids, return_index=True, return_inverse=True
+    )
+    first_seen = first_idx[inverse]
 
     def to_merged(i: int) -> int:
         return int(index_map[i]) if i < spec.requests else n_merged
@@ -197,6 +215,8 @@ def _prepare(spec: ScenarioSpec, base_trace: Trace) -> _Prepared:
         first_divergence=min((a.index for a in actions), default=None),
         windows=windows,
         down_spans=down_spans,
+        flood_mask=flood_mask,
+        first_seen=first_seen,
     )
 
 
@@ -206,9 +226,20 @@ def _replay(
     *,
     with_actions: bool,
     registry=None,
+    ledger: WriteLedger | None = None,
+    tracer=None,
 ) -> tuple[list[_PhaseCounters], TwoTierCluster]:
     """Drive the merged trace through a fresh cluster; one counter set
-    per phase (phases are the slices between ``prep.boundaries``)."""
+    per phase (phases are the slices between ``prep.boundaries``).
+
+    ``ledger`` attaches write provenance: every node built here (initial
+    fleet, restarts, the DC tier) is bound to it, the router stamps each
+    request's cause before serving it, and :func:`close_phase` folds the
+    per-cause deltas into the phase counters.  ``tracer`` records one
+    wall-clock span per phase (plus a ``replay`` root) for Chrome-trace
+    export; neither touches the replayed counters, so the baseline pass
+    simply omits both.
+    """
     merged = prep.merged
     node_cap = node_capacity_bytes(spec, merged)
     dc_cap = max(1, int(spec.dc_capacity_fraction * merged.footprint_bytes))
@@ -217,19 +248,30 @@ def _replay(
     # original one (matching a real fleet, where the image is upgraded).
     admission_kind = {name: spec.admission for name in spec.node_names}
 
-    def fresh_node(name: str) -> CacheNode:
-        return CacheNode(
+    def fresh_node(name: str, restarted_at: int | None = None) -> CacheNode:
+        node = CacheNode(
             name,
             make_policy(spec.policy, node_cap),
             admission=build_admission(
                 admission_kind[name], prep.labels, spec, prep.admission_seed
             ),
         )
+        if ledger is not None:
+            node.bind_ledger(
+                ledger,
+                model_label=admission_kind[name],
+                restarted_at=restarted_at,
+            )
+        return node
 
     cluster = TwoTierCluster(
         {name: fresh_node(name) for name in spec.node_names},
         CacheNode("dc", make_policy(spec.policy, dc_cap)),
     )
+    if ledger is not None:
+        # The DC tier has no admission model; its writes are labelled by
+        # tier so per-model breakdowns stay about the OC classifiers.
+        cluster.dc.bind_ledger(ledger, model_label="dc")
     if registry is not None:
         cluster.instrument(registry)
     lat = cluster.latency
@@ -265,6 +307,14 @@ def _replay(
     r_live = min(spec.replication, len(oc_nodes))
     t_oc, t_dc, t_b = latency_constants()
 
+    flood_list = prep.flood_mask.tolist() if ledger is not None else None
+    first_seen_list = prep.first_seen.tolist() if ledger is not None else None
+
+    tracing = tracer is not None and tracer.enabled
+    span_track = tracer.new_track() if tracing else None
+    t_replay0 = time.perf_counter_ns() if tracing else 0
+    t_phase0 = t_replay0
+
     next_action = 0
     phase_idx = 0
     ph = phases[0]
@@ -272,12 +322,32 @@ def _replay(
     oc_writes_mark = 0   # total OC writes (live+retired) at phase start
     dc_writes_mark = 0
     denied_mark = 0
+    ledger_mark = ledger.checkpoint() if ledger is not None else None
 
     def close_phase() -> tuple[int, int, int]:
+        nonlocal ledger_mark, t_phase0
         totals = cluster.oc_tier_totals()
         ph.total_oc_writes = totals.files_written - oc_writes_mark
         ph.dc_writes = dc.stats.files_written - dc_writes_mark
         ph.admissions_denied = totals.admissions_denied - denied_mark
+        if ledger is not None:
+            d = ledger.delta(ledger_mark)
+            ph.writes_by_cause = d["writes_by_cause"]
+            ph.avoided_writes = d["avoided_writes"]
+            ph.avoided_bytes = d["avoided_bytes"]
+            ledger_mark = ledger.checkpoint()
+        if tracing:
+            now = time.perf_counter_ns()
+            tracer.add(
+                f"phase{phase_idx}", "scenario", t_phase0, now,
+                track=span_track,
+                args={
+                    "start": boundaries[phase_idx],
+                    "end": boundaries[phase_idx + 1],
+                    "requests": ph.requests,
+                },
+            )
+            t_phase0 = now
         return totals.files_written, dc.stats.files_written, totals.admissions_denied
 
     for i in range(n):
@@ -291,7 +361,7 @@ def _replay(
             if a.kind == "kill":
                 cluster.remove_node(a.node)
             elif a.kind == "restart":
-                cluster.add_node(fresh_node(a.node))
+                cluster.add_node(fresh_node(a.node, restarted_at=i))
             else:  # deploy: atomic per-node admission swap
                 admission_kind[a.node] = a.admission
                 live = cluster.oc_nodes.get(a.node)
@@ -299,6 +369,7 @@ def _replay(
                     live.admission = build_admission(
                         a.admission, prep.labels, spec, prep.admission_seed
                     )
+                    live.model_label = a.admission
             owner_memo.clear()
             oc_nodes = cluster.oc_nodes
             r_live = min(spec.replication, len(oc_nodes))
@@ -311,9 +382,28 @@ def _replay(
         if owners is None:
             owners = owner_memo[oid] = cluster.ring.lookup_n(oid, r_live)
 
+        primary = oc_nodes[owners[0]]
+        if ledger is not None:
+            # Stamp this request's provenance before it can insert.  Flood
+            # wins (the request would not exist without the injection);
+            # then rewarm (first seen before the primary's cold restart —
+            # the cluster already paid this object's flash cost once);
+            # replica fills stay `replica_fill` inside fill() itself.
+            if flood_list[i]:
+                cause = "flood"
+            elif (
+                primary.restarted_at is not None
+                and first_seen_list[i] < primary.restarted_at
+            ):
+                cause = "rewarm_after_restart"
+            else:
+                cause = "admission_accept"
+            primary.write_cause = cause
+            dc.write_cause = "flood" if flood_list[i] else "admission_accept"
+
         ph.requests += 1
         ph.bytes_requested += size
-        if oc_nodes[owners[0]].request(i, oid, size):
+        if primary.request(i, oid, size):
             ph.oc_hits += 1
             ph.bytes_hit += size
             latency = t_oc
@@ -329,6 +419,12 @@ def _replay(
                 ph.replica_writes += 1
 
     close_phase()
+    if tracing:
+        tracer.add(
+            "replay", "scenario", t_replay0, time.perf_counter_ns(),
+            track=span_track,
+            args={"requests": n, "phases": len(phases)},
+        )
     return phases, cluster
 
 
@@ -352,16 +448,26 @@ def run_scenario(
     registry=None,
     with_baseline: bool = True,
     with_oracle: bool = True,
+    tracer=None,
 ) -> ScenarioReport:
     """Run one scenario end to end; see the module docstring for stages.
 
     ``with_baseline``/``with_oracle`` skip the comparison replays (each
     costs roughly one extra pass over the merged trace) for quick smoke
-    runs; the full report needs both.
+    runs; the full report needs both.  ``tracer`` (a
+    :class:`~repro.obs.spans.Tracer`) records per-phase wall-clock spans
+    of the main replay for Chrome-trace export.
+
+    The main replay always carries a :class:`~repro.obs.ledger.WriteLedger`;
+    its provenance section lands in ``report.ledger`` with an ``exact``
+    flag asserting the per-cause totals sum to the cluster's own SSD
+    write counters (retired incarnations included).
     """
     prep = _prepare(spec, base_trace)
+    ledger = WriteLedger(registry=registry)
     phases_raw, _cluster = _replay(
-        spec, prep, with_actions=True, registry=registry
+        spec, prep, with_actions=True, registry=registry,
+        ledger=ledger, tracer=tracer,
     )
 
     baseline_equal = True
@@ -405,6 +511,9 @@ def run_scenario(
             replica_writes=raw.replica_writes,
             dc_writes=raw.dc_writes,
             admissions_denied=raw.admissions_denied,
+            writes_by_cause=raw.writes_by_cause,
+            avoided_writes=raw.avoided_writes,
+            avoided_bytes=raw.avoided_bytes,
             latency_mean=raw.reservoir.mean,
             latency_p50=p50,
             latency_p99=p99,
@@ -426,6 +535,15 @@ def run_scenario(
         for info in prep.floods
     ]
 
+    # Provenance section + the exactness invariant: the ledger must sum
+    # (integer equality) to every SSD write the cluster counted, retired
+    # node incarnations included.
+    totals = _cluster.oc_tier_totals()
+    cluster_ssd_writes = totals.files_written + _cluster.dc.stats.files_written
+    ledger_section = ledger.snapshot()
+    ledger_section["cluster_ssd_writes"] = cluster_ssd_writes
+    ledger_section["exact"] = ledger.total_writes == cluster_ssd_writes
+
     return ScenarioReport(
         name=spec.name,
         spec=spec.to_dict(),
@@ -436,4 +554,5 @@ def run_scenario(
         baseline_checked=with_baseline,
         baseline_equal=baseline_equal,
         events_applied=events_applied,
+        ledger=ledger_section,
     )

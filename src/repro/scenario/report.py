@@ -44,6 +44,11 @@ class PhaseStats:
     replica_writes: int = 0    # OC SSD writes from replica write-through
     dc_writes: int = 0
     admissions_denied: int = 0
+    # Write-provenance deltas from the run's WriteLedger (None when the
+    # replay carried no ledger, e.g. hand-built phases in tests).
+    writes_by_cause: dict | None = None
+    avoided_writes: int = 0
+    avoided_bytes: int = 0
     latency_mean: float = 0.0
     latency_p50: float = 0.0
     latency_p99: float = 0.0
@@ -101,6 +106,13 @@ class PhaseStats:
             "replica_writes": self.replica_writes,
             "dc_writes": self.dc_writes,
             "admissions_denied": self.admissions_denied,
+            "writes_by_cause": (
+                dict(self.writes_by_cause)
+                if self.writes_by_cause is not None
+                else None
+            ),
+            "avoided_writes": self.avoided_writes,
+            "avoided_bytes": self.avoided_bytes,
             "write_rate": self.write_rate,
             "latency_mean": self.latency_mean,
             "latency_p50": self.latency_p50,
@@ -126,6 +138,10 @@ class ScenarioReport:
     baseline_checked: bool       # whether the failure-free baseline ran
     baseline_equal: bool         # pristine phases matched it exactly
     events_applied: list[str] = field(default_factory=list)
+    #: ``WriteLedger.snapshot()`` of the main replay, plus
+    #: ``cluster_ssd_writes`` and the ``exact`` invariant flag (per-cause
+    #: totals sum to the cluster's own write counters, retired included).
+    ledger: dict | None = None
 
     # ------------------------------------------------------------ aggregates
 
@@ -163,6 +179,7 @@ class ScenarioReport:
             "baseline_checked": self.baseline_checked,
             "baseline_equal": self.baseline_equal,
             "events_applied": list(self.events_applied),
+            "ledger": self.ledger,
             "oc_hit_rate": self.oc_hit_rate,
             "total_oc_writes": self.total_oc_writes,
             "max_abs_hit_gap": self.max_abs_hit_gap,
@@ -182,6 +199,19 @@ def format_report(report: ScenarioReport) -> str:
     if report.baseline_checked:
         verdict = "exact match" if report.baseline_equal else "MISMATCH"
         lines.append(f"pristine phases vs failure-free baseline: {verdict}")
+    if report.ledger is not None:
+        led = report.ledger
+        causes = ", ".join(
+            f"{cause} {count:,}"
+            for cause, count in led["writes_by_cause"].items()
+        )
+        verdict = "exact" if led.get("exact") else "MISMATCH"
+        lines.append(
+            f"write provenance ({verdict} vs {led['cluster_ssd_writes']:,} "
+            f"cluster writes): {causes}; "
+            f"avoided {led['avoided_writes']:,} writes "
+            f"({led['avoided_bytes']:,} bytes)"
+        )
     header = (
         f"{'phase':>5} {'span':>19} {'req':>8} {'hit':>6} {'wr':>6} "
         f"{'p50ms':>7} {'p99ms':>7} {'p999ms':>7} {'gap(hit)':>9} "

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs.registry import latency_buckets
+from repro.obs.spans import NULL_TRACER
 from repro.server.metrics import timing_stats
 from repro.server.protocol import ProtocolError, read_message, write_message
 from repro.trace.records import Trace
@@ -111,7 +112,10 @@ async def _replay_connection(
     t0: float,
     result: LoadgenResult,
     latencies: list[float],
+    conn_id: int = 0,
+    tracer=None,
 ) -> None:
+    spans = tracer or NULL_TRACER
     reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
     oids = trace.object_ids
     sizes = trace.sizes
@@ -120,25 +124,30 @@ async def _replay_connection(
 
     async def read_responses() -> None:
         done = 0
-        try:
-            while done < expected:
-                msg = await read_message(reader)
-                if msg is None:
-                    break
-                if msg.get("op") != "GET":
-                    continue
-                done += 1
-                sent_at = in_flight.pop(msg.get("index"), None)
-                if not msg.get("ok"):
-                    result.errors += 1
-                    continue
-                result.completed += 1
-                if msg.get("hit"):
-                    result.hits += 1
-                if sent_at is not None:
-                    latencies.append(time.perf_counter() - sent_at)
-        except (ConnectionError, OSError, ProtocolError):
-            pass  # server went away mid-stream
+        # The reader task is created before the send span is entered, so
+        # this recv span roots its own track — send and recv overlap in
+        # time and must not share a Chrome tid.
+        with spans.span("recv", "loadgen", connection=conn_id) as rspan:
+            try:
+                while done < expected:
+                    msg = await read_message(reader)
+                    if msg is None:
+                        break
+                    if msg.get("op") != "GET":
+                        continue
+                    done += 1
+                    sent_at = in_flight.pop(msg.get("index"), None)
+                    if not msg.get("ok"):
+                        result.errors += 1
+                        continue
+                    result.completed += 1
+                    if msg.get("hit"):
+                        result.hits += 1
+                    if sent_at is not None:
+                        latencies.append(time.perf_counter() - sent_at)
+            except (ConnectionError, OSError, ProtocolError):
+                pass  # server went away mid-stream
+            rspan.annotate(responses=done)
         # Anything never answered (server death, early close) is an error.
         result.errors += expected - done
 
@@ -146,21 +155,24 @@ async def _replay_connection(
     try:
         loop = asyncio.get_running_loop()
         try:
-            for pos, due in zip(positions.tolist(), send_times.tolist()):
-                delay = t0 + due - loop.time()
-                if delay > 0:
-                    await asyncio.sleep(delay)
-                in_flight[pos] = time.perf_counter()
-                result.sent += 1
-                await write_message(
-                    writer,
-                    {
-                        "op": "GET",
-                        "index": pos,
-                        "oid": int(oids[pos]),
-                        "size": int(sizes[pos]),
-                    },
-                )
+            with spans.span(
+                "send", "loadgen", connection=conn_id, requests=expected
+            ):
+                for pos, due in zip(positions.tolist(), send_times.tolist()):
+                    delay = t0 + due - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    in_flight[pos] = time.perf_counter()
+                    result.sent += 1
+                    await write_message(
+                        writer,
+                        {
+                            "op": "GET",
+                            "index": pos,
+                            "oid": int(oids[pos]),
+                            "size": int(sizes[pos]),
+                        },
+                    )
         except (ConnectionError, OSError):
             pass  # server gone; the reader accounts for the shortfall
         await reader_task
@@ -217,7 +229,7 @@ def _publish(result: LoadgenResult, latencies: list[float], registry) -> None:
 
 
 async def run_loadgen(
-    trace: Trace, cfg: LoadgenConfig, *, registry=None
+    trace: Trace, cfg: LoadgenConfig, *, registry=None, tracer=None
 ) -> LoadgenResult:
     """Replay ``trace`` positions ``[start, start+limit)`` open-loop.
 
@@ -225,6 +237,10 @@ async def run_loadgen(
     given, the finished replay is published into it as
     ``repro_loadgen_*`` metrics — useful when the loadgen itself is being
     scraped or its numbers belong next to the node's in one exposition.
+    When ``tracer`` (a :class:`~repro.obs.spans.Tracer`) is given, each
+    connection records coarse ``send``/``recv`` spans plus one overall
+    ``replay`` span (per connection, not per request — the open-loop
+    schedule must not pay tracing costs inside the send timing loop).
     """
     n = trace.n_accesses - cfg.start
     if cfg.limit is not None:
@@ -239,6 +255,7 @@ async def run_loadgen(
     loop = asyncio.get_running_loop()
     t0 = loop.time()
     t_wall = time.perf_counter()
+    t_wall_ns = time.perf_counter_ns()
     await asyncio.gather(
         *(
             _replay_connection(
@@ -249,11 +266,21 @@ async def run_loadgen(
                 t0,
                 result,
                 latencies,
+                conn_id=c,
+                tracer=tracer,
             )
             for c in range(cfg.connections)
         )
     )
     result.duration_seconds = time.perf_counter() - t_wall
+    if tracer is not None and tracer.enabled:
+        # Recorded post-hoc on its own track: entering a span here would
+        # leak its track into every connection task created under it.
+        tracer.add(
+            "replay", "loadgen", t_wall_ns, time.perf_counter_ns(),
+            track=tracer.new_track(),
+            args={"sent": result.sent, "connections": cfg.connections},
+        )
     result.latency = timing_stats(latencies)
     if registry is not None:
         _publish(result, latencies, registry)

@@ -100,6 +100,16 @@ def metrics_snapshot(node, server=None) -> dict:
             "buffered": len(tracer),
             "dropped": tracer.dropped,
         }
+    if node.spans is not None:
+        spans = node.spans
+        snap["spans"] = {
+            "enabled": spans.enabled,
+            "capacity": spans.capacity,
+            "recorded": spans.recorded,
+            "buffered": len(spans),
+            "dropped": spans.dropped,
+        }
+    snap["ledger"] = node.ledger.snapshot()
     if server is not None:
         snap["uptime_seconds"] = (
             time.perf_counter() - server.started_at if server.started_at else 0.0
@@ -174,6 +184,23 @@ def format_metrics(snap: dict) -> str:
             [
                 "trace events (buffered/sampled)",
                 f"{tr['buffered']:,} / {tr['sampled']:,}",
+            ]
+        )
+    sp = snap.get("spans")
+    if sp:
+        rows.append(
+            [
+                "spans (buffered/recorded)",
+                f"{sp['buffered']:,} / {sp['recorded']:,}",
+            ]
+        )
+    led = snap.get("ledger")
+    if led and led["total_writes"]:
+        rows.append(
+            [
+                "writes avoided (ledger)",
+                f"{led['avoided_writes']:,} "
+                f"({led['avoided_bytes']:,} bytes)",
             ]
         )
     if "retrains" in snap:

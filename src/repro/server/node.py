@@ -55,7 +55,9 @@ from repro.ml.fastpath import fast_predictor
 from repro.ml.tree import DecisionTreeClassifier
 from repro.obs.drift import DriftMonitor
 from repro.obs.exporter import MetricsExporter
+from repro.obs.ledger import WriteLedger
 from repro.obs.registry import MetricsRegistry, Reservoir, latency_buckets
+from repro.obs.spans import Tracer
 from repro.obs.structlog import get_logger
 from repro.obs.tracing import DecisionTrace
 from repro.server.protocol import (
@@ -223,6 +225,7 @@ class CacheNode:
         registry: MetricsRegistry | None = None,
         tracer: DecisionTrace | None = None,
         drift: DriftMonitor | None = None,
+        spans: Tracer | None = None,
     ):
         self.trace = trace
         self.cfg = cfg if cfg is not None else NodeConfig()
@@ -265,6 +268,13 @@ class CacheNode:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
         self.drift = drift
+        #: Optional span tracer shared with the serving layer/retrainer;
+        #: ``None`` (the default) keeps the hot path span-free.
+        self.spans = spans
+        #: Write provenance: on a single live node every insertion is an
+        #: admission accept labelled with the deciding model version, and
+        #: every denial is an avoided write (exact, batch-delta updates).
+        self.ledger = WriteLedger(registry=self.registry)
         self._bind_instruments()
 
     def _bind_instruments(self) -> None:
@@ -307,6 +317,50 @@ class CacheNode:
             "repro_model_version", "Version of the installed classifier."
         )
         self._m_model_version.set(self.model_version)
+        # Request-lifecycle stage timing: feature_build / batch_inference /
+        # cache_ops land here once per micro-batch, queue_wait and reply are
+        # bound by the serving layer against the same family.
+        stage = reg.histogram(
+            "repro_stage_seconds",
+            "Request-lifecycle stage wall time (one observation per "
+            "micro-batch; queue_wait is per request).",
+            ("stage",),
+            buckets=latency_buckets(),
+        )
+        self._m_stage_feature = stage.labels(stage="feature_build")
+        self._m_stage_inference = stage.labels(stage="batch_inference")
+        self._m_stage_cache = stage.labels(stage="cache_ops")
+        # Sampler accounting (previously reachable only through the TCP
+        # TRACE verb / STATS): decision-trace stream counts and the bounded
+        # reservoirs' seen-vs-retained sizes, refreshed once per batch.
+        trace_g = reg.gauge(
+            "repro_decision_trace_events",
+            "DecisionTrace stream accounting (seen / sampled / dropped).",
+            ("state",),
+        )
+        self._m_trace_seen = trace_g.labels(state="seen")
+        self._m_trace_sampled = trace_g.labels(state="sampled")
+        self._m_trace_dropped = trace_g.labels(state="dropped")
+        res_seen = reg.gauge(
+            "repro_reservoir_seen",
+            "Observations offered to a bounded timing reservoir.",
+            ("reservoir",),
+        )
+        res_kept = reg.gauge(
+            "repro_reservoir_retained",
+            "Samples currently retained by a bounded timing reservoir.",
+            ("reservoir",),
+        )
+        self._m_classify_seen = res_seen.labels(reservoir="t_classify")
+        self._m_classify_retained = res_kept.labels(reservoir="t_classify")
+        spans_g = reg.gauge(
+            "repro_spans",
+            "Span-ring accounting (recorded / buffered / dropped).",
+            ("state",),
+        )
+        self._m_spans_recorded = spans_g.labels(state="recorded")
+        self._m_spans_buffered = spans_g.labels(state="buffered")
+        self._m_spans_dropped = spans_g.labels(state="dropped")
 
     # ------------------------------------------------------------ telemetry
 
@@ -379,6 +433,9 @@ class CacheNode:
             self.tracer.clear()
         if self.drift is not None:
             self.drift.reset()
+        if self.spans is not None:
+            self.spans.clear()
+        self.ledger.clear()
         self.registry.reset()
         self._m_model_version.set(self.model_version)
 
@@ -390,9 +447,21 @@ class CacheNode:
         *timing* of classifier inference differs (one vectorised call per
         batch instead of one per miss).
         """
-        n = len(indices)
-        if n == 0:
+        if not indices:
             return []
+        spans = self.spans
+        if spans is None or not spans.enabled:
+            return self._process_batch(indices, None)
+        # Root of the node-side span tree; the serving layer's
+        # ``request_batch`` span (when present) wraps this via the
+        # contextvar track, so the drained trace nests correctly.
+        with spans.span(
+            "process_batch", "node", n=len(indices), first=indices[0]
+        ):
+            return self._process_batch(indices, spans)
+
+    def _process_batch(self, indices: list[int], spans) -> list[dict]:
+        n = len(indices)
         if indices[0] != self.processed or indices[-1] != self.processed + n - 1:
             raise ValueError(
                 f"batch [{indices[0]}, {indices[-1]}] is not the contiguous "
@@ -405,7 +474,7 @@ class CacheNode:
         rows = None
         t_classify = 0.0
         if predictor is not None and tracker is not None:
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             buf = self._rows
             rows = (
                 buf[:n]
@@ -417,11 +486,19 @@ class CacheNode:
             for row, i in enumerate(indices):
                 features_into(i, rows[row])
                 observe(i)
+            t_feat = time.perf_counter_ns()
             # One vectorised call through the compiled tree's batch twin.
             verdicts = predictor.predict(rows)
-            t_classify = (time.perf_counter() - t0) / n
+            t_inf = time.perf_counter_ns()
+            t_classify = (t_inf - t0) * 1e-9 / n
             self.classify_timing.add_repeated(t_classify, n)
             self._m_classify.observe_many(t_classify, n)
+            self._m_stage_feature.observe((t_feat - t0) * 1e-9)
+            self._m_stage_inference.observe((t_inf - t_feat) * 1e-9)
+            if spans is not None:
+                spans.add("feature_build", "node", t0, t_feat,
+                          args={"rows": n})
+                spans.add("batch_inference", "node", t_feat, t_inf)
 
         stats = self.stats
         hits0, bytes_hit0 = stats.hits, stats.bytes_hit
@@ -438,6 +515,8 @@ class CacheNode:
         stats_record = stats.record
         m_threshold = self.criteria.m_threshold if self.criteria else 0.0
         oid_list, size_list = self._oid_list, self._size_list
+        denied_bytes = 0
+        t_loop0 = time.perf_counter_ns()
         out = []
         for row, i in enumerate(indices):
             oid = oid_list[i]
@@ -460,6 +539,7 @@ class CacheNode:
             stats_record(size, result, denied)
             if denied:
                 self.denied_mask[i] = True
+                denied_bytes += size
             if drift is not None:
                 drift.observe(i, oid, denied)
             if tracer is not None and tracer.should_sample(i):
@@ -487,6 +567,11 @@ class CacheNode:
                 }
             )
         self.processed += n
+        t_loop1 = time.perf_counter_ns()
+        self._m_stage_cache.observe((t_loop1 - t_loop0) * 1e-9)
+        if spans is not None:
+            spans.add("cache_ops", "node", t_loop0, t_loop1,
+                      args={"requests": n})
 
         # Registry counters advance by the batch's stats deltas: one inc per
         # metric per batch keeps the request loop unchanged while STATS and
@@ -504,6 +589,38 @@ class CacheNode:
         if self.history is not None:
             self._m_rectified.inc(self.history.rectifications - rectified0)
         self._m_position.set(self.processed)
+
+        # Write provenance (exact, batch-delta): on a single node every
+        # insert is an admission accept by the model version that served
+        # this batch — the model reference is read once per batch, so the
+        # label can never straddle a swap.
+        writes_d = stats.files_written - written0
+        model_label = f"v{self.model_version}"
+        if writes_d:
+            self.ledger.record_write(
+                "admission_accept",
+                stats.bytes_written - bytes_written0,
+                model=model_label,
+                n=writes_d,
+            )
+        denied_d = stats.admissions_denied - denied0
+        if denied_d:
+            self.ledger.record_avoided(
+                denied_bytes, model=model_label, n=denied_d
+            )
+
+        # Sampler-accounting gauges (cheap: once per batch).
+        if tracer is not None:
+            self._m_trace_seen.set(tracer.seen)
+            self._m_trace_sampled.set(tracer.sampled)
+            self._m_trace_dropped.set(tracer.dropped)
+        timing = self.classify_timing
+        self._m_classify_seen.set(timing.count)
+        self._m_classify_retained.set(timing.retained)
+        if spans is not None:
+            self._m_spans_recorded.set(spans.recorded)
+            self._m_spans_buffered.set(len(spans))
+            self._m_spans_dropped.set(spans.dropped)
         return out
 
 
@@ -518,7 +635,7 @@ _SHUTDOWN = object()
 class _Request:
     index: int
     conn: "_Connection"
-    t_enqueue: float
+    t_enqueue: int  # perf_counter_ns at enqueue (queue-wait / latency base)
 
 
 class _Connection:
@@ -625,6 +742,28 @@ class CacheNodeServer:
         self._m_connections = reg.gauge(
             "repro_connections", "Open client connections."
         )
+        # Serving-side children of the node's stage-histogram family.
+        stage = reg.histogram(
+            "repro_stage_seconds",
+            "Request-lifecycle stage wall time (one observation per "
+            "micro-batch; queue_wait is per request).",
+            ("stage",),
+            buckets=latency_buckets(),
+        )
+        self._m_stage_queue = stage.labels(stage="queue_wait")
+        self._m_stage_reply = stage.labels(stage="reply")
+        res_seen = reg.gauge(
+            "repro_reservoir_seen",
+            "Observations offered to a bounded timing reservoir.",
+            ("reservoir",),
+        )
+        res_kept = reg.gauge(
+            "repro_reservoir_retained",
+            "Samples currently retained by a bounded timing reservoir.",
+            ("reservoir",),
+        )
+        self._m_latency_seen = res_seen.labels(reservoir="service_latency")
+        self._m_latency_retained = res_kept.labels(reservoir="service_latency")
         self.exporter: MetricsExporter | None = None
         if metrics_port is not None:
             from repro.server.metrics import metrics_snapshot
@@ -754,23 +893,51 @@ class CacheNodeServer:
         return batch
 
     def _process(self, batch: list[_Request]) -> None:
+        node = self.node
+        spans = node.spans
+        root = None
+        t_dequeue = time.perf_counter_ns()
+        if spans is not None and spans.enabled:
+            # Root of the per-batch span tree, backdated to the earliest
+            # enqueue so the queue_wait child nests inside it; the node's
+            # process_batch span inherits the track via the contextvar.
+            root = spans.span(
+                "request_batch", "server",
+                start_ns=min(req.t_enqueue for req in batch),
+                n=len(batch), first=batch[0].index,
+            ).__enter__()
+            spans.add("queue_wait", "server", root.start_ns, t_dequeue)
         try:
-            results = self.node.process_batch([req.index for req in batch])
-        except Exception as exc:  # defensive: fail the batch, keep serving
-            logger.exception("batch of %d request(s) failed", len(batch))
-            for req in batch:
-                req.conn.send(error_response("GET", str(exc), index=req.index))
-            return
-        now = time.perf_counter()
-        latencies = self.service_latencies
-        observe = self._m_latency.observe
-        for req, res in zip(batch, results):
-            lat = now - req.t_enqueue
-            latencies.add(lat)
-            observe(lat)
-            req.conn.send(res)
-        self._m_queue.set(self.queue_depth)
-        self._maybe_retrain_on_drift()
+            try:
+                results = node.process_batch([req.index for req in batch])
+            except Exception as exc:  # defensive: fail the batch, keep serving
+                logger.exception("batch of %d request(s) failed", len(batch))
+                for req in batch:
+                    req.conn.send(
+                        error_response("GET", str(exc), index=req.index)
+                    )
+                return
+            t_reply0 = time.perf_counter_ns()
+            latencies = self.service_latencies
+            observe = self._m_latency.observe
+            observe_wait = self._m_stage_queue.observe
+            for req, res in zip(batch, results):
+                lat = (t_reply0 - req.t_enqueue) * 1e-9
+                latencies.add(lat)
+                observe(lat)
+                observe_wait((t_dequeue - req.t_enqueue) * 1e-9)
+                req.conn.send(res)
+            t_reply1 = time.perf_counter_ns()
+            self._m_stage_reply.observe((t_reply1 - t_reply0) * 1e-9)
+            if root is not None:
+                spans.add("reply", "server", t_reply0, t_reply1)
+            self._m_latency_seen.set(latencies.count)
+            self._m_latency_retained.set(latencies.retained)
+            self._m_queue.set(self.queue_depth)
+            self._maybe_retrain_on_drift()
+        finally:
+            if root is not None:
+                root.__exit__(None, None, None)
 
     def _maybe_retrain_on_drift(self) -> None:
         """Schedule an immediate retrain when the drift alarm has fired."""
@@ -832,6 +999,8 @@ class CacheNodeServer:
             conn.send({"ok": True, "op": "PING"})
         elif op == "TRACE":
             self._dispatch_trace(message, conn)
+        elif op == "SPANS":
+            self._dispatch_spans(message, conn)
         elif op == "RESET":
             if self.queue_depth:
                 conn.send(error_response("RESET", "requests still in flight"))
@@ -881,6 +1050,36 @@ class CacheNodeServer:
             }
         )
 
+    def _dispatch_spans(self, message: dict, conn: _Connection) -> None:
+        spans = self.node.spans
+        if spans is None:
+            conn.send(error_response("SPANS", "span tracing disabled"))
+            return
+        limit = message.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+        ):
+            conn.send(
+                error_response("SPANS", "limit must be a non-negative integer")
+            )
+            return
+        recorded, dropped = spans.recorded, spans.dropped
+        # Same bounded-drain contract as TRACE: at most 10k spans a frame.
+        events = spans.events(
+            limit=10_000 if limit is None else min(limit, 10_000),
+            clear=bool(message.get("clear")),
+        )
+        conn.send(
+            {
+                "ok": True,
+                "op": "SPANS",
+                "spans": events,
+                "recorded": recorded,
+                "dropped": dropped,
+                "capacity": spans.capacity,
+            }
+        )
+
     async def _dispatch_get(self, message: dict, conn: _Connection) -> None:
         index = message.get("index")
         if not isinstance(index, int) or isinstance(index, bool):
@@ -908,7 +1107,7 @@ class CacheNodeServer:
                 )
             )
             return
-        await self._queue.put(_Request(index, conn, time.perf_counter()))
+        await self._queue.put(_Request(index, conn, time.perf_counter_ns()))
 
 
 async def run_server(

@@ -18,6 +18,9 @@ Operations (client → server)
 ``TRACE``   drain sampled decision-trace events (``{"op": "TRACE",
             "limit": n, "clear": bool}`` — both fields optional); errors
             if the node was started without tracing.
+``SPANS``   drain the span tracer's ring buffer (``{"op": "SPANS",
+            "limit": n, "clear": bool}``); errors if the node was
+            started without span tracing (``repro serve --spans``).
 ``PING``    liveness check.
 
 Every response carries ``"ok"`` (bool) and echoes ``"op"``; GET responses
@@ -48,7 +51,7 @@ _HEADER = struct.Struct(">I")
 #: this limit indicates a corrupt or hostile frame, not a real message.
 MAX_MESSAGE_BYTES = 4 * 2**20
 
-OPS = ("GET", "STATS", "RELOAD", "RESET", "TRACE", "PING")
+OPS = ("GET", "STATS", "RELOAD", "RESET", "TRACE", "SPANS", "PING")
 
 
 class ProtocolError(ValueError):

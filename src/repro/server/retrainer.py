@@ -37,6 +37,7 @@ from repro.core.monitoring import evaluate_admission_decisions
 from repro.core.training import sample_per_minute
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.spans import NULL_TRACER
 from repro.obs.structlog import get_logger
 
 __all__ = ["RetrainerConfig", "Retrainer"]
@@ -180,20 +181,28 @@ class Retrainer:
             "model_version": node.model_version,
             "worst_window_accuracy": None,
         }
-        rows = self._select_training_rows(t_cut)
-        record["n_train"] = int(rows.shape[0])
-
-        # Matured labels over the observed prefix: for every selected row the
-        # full M-request lookahead lies inside the prefix, so these labels
-        # equal the full-trace oracle labels at those positions.
-        n_obs = node.processed
-        m = node.criteria.m_threshold
-        if rows.shape[0] >= cfg.min_train_samples:
-            prefix_oids = node.trace.object_ids[:n_obs]
-            labels = one_time_labels(prefix_oids, m)
-            y = labels[rows]
-            if np.unique(y).shape[0] == 2:
-                X = self._fm.X[rows]
+        spans = getattr(node, "spans", None) or NULL_TRACER
+        with spans.span("retrain", "retrainer", t_cut=float(t_cut)):
+            # Snapshot: select matured rows and build their labels.  For
+            # every selected row the full M-request lookahead lies inside
+            # the observed prefix, so these labels equal the full-trace
+            # oracle labels at those positions.
+            with spans.span("snapshot", "retrainer") as snap:
+                rows = self._select_training_rows(t_cut)
+                record["n_train"] = int(rows.shape[0])
+                n_obs = node.processed
+                m = node.criteria.m_threshold
+                X = y = None
+                if rows.shape[0] >= cfg.min_train_samples:
+                    prefix_oids = node.trace.object_ids[:n_obs]
+                    labels = one_time_labels(prefix_oids, m)
+                    y = labels[rows]
+                    if np.unique(y).shape[0] == 2:
+                        X = self._fm.X[rows]
+                    else:
+                        y = None
+                snap.annotate(rows=record["n_train"])
+            if X is not None:
                 seed = int(self._rng.integers(0, 2**63 - 1))
                 model = CostSensitiveClassifier(
                     DecisionTreeClassifier(
@@ -202,8 +211,10 @@ class Retrainer:
                     CostMatrix(fn_cost=1.0, fp_cost=node.cfg.cost_v),
                 )
                 loop = asyncio.get_running_loop()
-                await loop.run_in_executor(None, model.fit, X, y)
-                record["model_version"] = node.install_model(model)
+                with spans.span("fit", "retrainer", rows=record["n_train"]):
+                    await loop.run_in_executor(None, model.fit, X, y)
+                with spans.span("swap", "retrainer"):
+                    record["model_version"] = node.install_model(model)
                 record["trained"] = True
 
         # Drift telemetry on the matured verdict stream.

@@ -218,6 +218,51 @@ class TestEndpoints:
         assert fam.labels(path="/metrics", code="200").value == 1
         assert fam.labels(path="/nope", code="404").value == 1
 
+    def test_unknown_route_404_exact_body_and_type(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/spans")
+            finally:
+                await exp.stop()
+
+        status, headers, body = run(go())
+        assert status == 404
+        assert headers["content-type"] == "application/json; charset=utf-8"
+        assert body == b'{"error":"not found"}'
+        assert int(headers["content-length"]) == len(body)
+
+    def test_malformed_request_line_400_body(self):
+        async def go():
+            exp = make_exporter()
+            await exp.start()
+            try:
+                # Three tokens required; one word is not a request line.
+                return await http_get(
+                    exp.port, "", raw_request=b"garbage\r\n\r\n"
+                )
+            finally:
+                await exp.stop()
+
+        status, _, body = run(go())
+        assert status == 400
+        assert json.loads(body) == {"error": "bad request"}
+
+    def test_statsz_exact_content_type(self):
+        async def go():
+            exp = make_exporter(statsz=lambda: {"ok": True})
+            await exp.start()
+            try:
+                return await http_get(exp.port, "/statsz")
+            finally:
+                await exp.stop()
+
+        status, headers, body = run(go())
+        assert status == 200
+        assert headers["content-type"] == "application/json; charset=utf-8"
+        assert json.loads(body) == {"ok": True}
+
     def test_port_zero_picks_free_port(self):
         async def go():
             exp = make_exporter()

@@ -1,13 +1,18 @@
-"""Prometheus text-exposition golden test.
+"""Prometheus text-exposition golden test plus edge-rendering checks.
 
 The rendered output is compared byte-for-byte against a committed golden
 file — any formatting drift (bucket ordering, label escaping, integer
 formatting) shows up as a readable diff rather than a scraper failure.
+The edge tests pin the rendering corners a golden file can miss: the
+final ``+Inf`` cumulative bucket, ``observe_many`` count/sum identity
+with looped ``observe``, and label-value escaping round-tripping.
 """
 
+import math
+import re
 from pathlib import Path
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import Histogram, MetricsRegistry, latency_buckets
 
 GOLDEN = Path(__file__).with_name("golden_metrics.prom")
 
@@ -48,3 +53,89 @@ def test_exposition_matches_golden_file():
 
 def test_exposition_ends_with_newline():
     assert build_registry().render_prometheus().endswith("\n")
+
+
+class TestLatencyBucketEdges:
+    """Rendering corners of ``latency_buckets``-backed histograms."""
+
+    def test_final_inf_bucket_is_cumulative_total(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_lat_seconds", "Latency.", buckets=latency_buckets()
+        )
+        # One observation per decade plus two far beyond the last bound
+        # (~8.4 s), which only the implicit +Inf bucket can hold.
+        for v in (5e-7, 1e-4, 0.02, 1.5, 100.0, 1e6):
+            h.observe(v)
+        rendered = reg.render_prometheus()
+        inf_lines = [
+            line for line in rendered.splitlines() if 'le="+Inf"' in line
+        ]
+        assert inf_lines == ['repro_lat_seconds_bucket{le="+Inf"} 6']
+        assert "repro_lat_seconds_count 6" in rendered
+        # The +Inf bucket line must come last of the bucket lines, right
+        # before the sum/count samples.
+        lines = rendered.splitlines()
+        bucket_lines = [
+            i for i, line in enumerate(lines)
+            if line.startswith("repro_lat_seconds_bucket")
+        ]
+        assert lines[bucket_lines[-1]] == inf_lines[0]
+        assert len(bucket_lines) == len(latency_buckets()) + 1
+
+    def test_cumulative_counts_never_decrease(self):
+        h = Histogram(latency_buckets())
+        for v in (1e-6, 2e-6, 1e-3, 0.5, 50.0):
+            h.observe(v)
+        pairs = h.cumulative()
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == h.count == 5
+
+    def test_observe_many_matches_looped_observe(self):
+        loop = Histogram(latency_buckets())
+        bulk = Histogram(latency_buckets())
+        samples = [(3e-6, 7), (0.004, 1000), (9.0, 3)]
+        for value, n in samples:
+            bulk.observe_many(value, n)
+            for _ in range(n):
+                loop.observe(value)
+        assert bulk.count == loop.count == sum(n for _, n in samples)
+        assert bulk.counts == loop.counts
+        assert math.isclose(bulk.sum, loop.sum, rel_tol=1e-12)
+
+    def test_observe_many_zero_is_a_noop(self):
+        h = Histogram(latency_buckets())
+        h.observe_many(0.5, 0)
+        assert h.count == 0 and h.sum == 0.0
+
+
+class TestLabelEscapingRoundTrip:
+    def _unescape(self, value: str) -> str:
+        out = []
+        it = iter(value)
+        for ch in it:
+            if ch == "\\":
+                nxt = next(it)
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    def test_rendered_label_value_round_trips(self):
+        nasty = 'a\\b"c\nd\\\\e\\"f'
+        reg = MetricsRegistry()
+        reg.counter("repro_rt_total", "Round trip.", ("path",)).labels(
+            path=nasty
+        ).inc()
+        rendered = reg.render_prometheus()
+        (line,) = [
+            l for l in rendered.splitlines()
+            if l.startswith("repro_rt_total{")
+        ]
+        # The sample must stay on one physical line (the newline in the
+        # value is escaped) and parse back to the original string.
+        match = re.fullmatch(r'repro_rt_total\{path="(.*)"\} 1', line)
+        assert match is not None
+        assert self._unescape(match.group(1)) == nasty

@@ -27,6 +27,8 @@ COMPONENTS = {
     "admission_fast",
     "simulate_loop_reference",
     "simulate_segments",
+    "spans_enabled_reference",
+    "spans_disabled_noop",
 }
 
 
@@ -143,6 +145,23 @@ class TestComponentSelection:
         text = format_report(segments_only)
         assert "simulate_segments" in text
         assert "t_classify" not in text
+
+    def test_spans_group_benches_both_paths(self):
+        report = run_hotpath_bench(
+            quick=True, components=["spans"], budget_seconds=0.005
+        )
+        assert report["components_selected"] == ["spans"]
+        assert set(report["components"]) == {
+            "spans_enabled_reference",
+            "spans_disabled_noop",
+        }
+        enabled = report["components"]["spans_enabled_reference"]
+        noop = report["components"]["spans_disabled_noop"]
+        assert enabled["speedup_vs_reference"] == 1.0
+        # The whole point of the no-op path: disabled tracing must be
+        # meaningfully cheaper than recording.
+        assert noop["ns_per_op"] < enabled["ns_per_op"]
+        assert noop["speedup_vs_reference"] > 1.0
 
     def test_unknown_group_rejected(self):
         with pytest.raises(ValueError, match="unknown component groups"):

@@ -1,0 +1,194 @@
+"""Write-provenance ledger integration with the scenario engine.
+
+The load-bearing property is *exactness*: the per-cause ledger totals
+must sum — integer equality, no sampling — to every SSD write the
+cluster counted, including stats parked when a killed node retired.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import CAUSES
+from repro.obs.spans import Tracer, validate_chrome_trace
+from repro.scenario import (
+    EventSpec,
+    ScenarioSpec,
+    reference_scenario,
+    run_scenario,
+)
+from repro.trace import WorkloadConfig, generate_trace
+
+REQUESTS = 8_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=3000, days=2.0, seed=9))
+
+
+@pytest.fixture(scope="module")
+def reference_report(trace):
+    return run_scenario(reference_scenario(REQUESTS, seed=0), trace)
+
+
+class TestExactness:
+    def test_ledger_sums_to_cluster_writes_including_retired(
+        self, reference_report
+    ):
+        led = reference_report.ledger
+        assert led is not None
+        assert led["exact"] is True
+        # The reference scenario kills oc1 mid-run, so the cluster total
+        # necessarily includes a retired incarnation's writes.
+        assert sum(led["writes_by_cause"].values()) == led["cluster_ssd_writes"]
+        assert led["total_writes"] == led["cluster_ssd_writes"]
+
+    def test_per_phase_deltas_partition_the_totals(self, reference_report):
+        led = reference_report.ledger
+        by_cause = dict.fromkeys(CAUSES, 0)
+        avoided = 0
+        for p in reference_report.phases:
+            assert p.writes_by_cause is not None
+            for cause, n in p.writes_by_cause.items():
+                by_cause[cause] += n
+        avoided = sum(p.avoided_writes for p in reference_report.phases)
+        assert by_cause == led["writes_by_cause"]
+        assert avoided == led["avoided_writes"]
+
+    def test_replica_and_dc_writes_reconcile(self, reference_report):
+        """Cross-check against the engine's own independent counters:
+        replica_fill must equal the phase replica_writes sum, and the
+        OC-cause totals plus DC writes must cover the cluster total."""
+        led = reference_report.ledger
+        assert led["writes_by_cause"]["replica_fill"] == sum(
+            p.replica_writes for p in reference_report.phases
+        )
+        dc_writes = sum(p.dc_writes for p in reference_report.phases)
+        oc_writes = sum(
+            p.primary_writes + p.replica_writes
+            for p in reference_report.phases
+        )
+        assert oc_writes + dc_writes == led["cluster_ssd_writes"]
+
+
+class TestDeterminism:
+    def test_same_seed_ledger_section_is_byte_identical(
+        self, trace, reference_report
+    ):
+        again = run_scenario(reference_scenario(REQUESTS, seed=0), trace)
+        assert (
+            json.dumps(again.ledger, sort_keys=True)
+            == json.dumps(reference_report.ledger, sort_keys=True)
+        )
+
+
+class TestCauseAttribution:
+    def test_reference_scenario_populates_every_cause(self, reference_report):
+        by_cause = reference_report.ledger["writes_by_cause"]
+        # Flood + restart + replication 2 are all in the reference
+        # timeline, so every cause must attribute at least one write.
+        for cause in CAUSES:
+            assert by_cause[cause] > 0, cause
+
+    def test_quiet_scenario_is_pure_admission(self, trace):
+        report = run_scenario(
+            ScenarioSpec(nodes=3, requests=REQUESTS),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        by_cause = report.ledger["writes_by_cause"]
+        assert report.ledger["exact"]
+        assert by_cause["flood"] == 0
+        assert by_cause["rewarm_after_restart"] == 0
+        assert by_cause["replica_fill"] == 0  # replication defaults to 1
+        assert by_cause["admission_accept"] == report.ledger["cluster_ssd_writes"]
+
+    def test_restart_attributes_rewarm_writes(self, trace):
+        n = REQUESTS
+        events = (
+            EventSpec(kind="node_kill", at=n // 3, node="oc1"),
+            EventSpec(kind="node_restart", at=n // 2, node="oc1"),
+        )
+        report = run_scenario(
+            ScenarioSpec(nodes=3, requests=n, events=events),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        assert led["writes_by_cause"]["rewarm_after_restart"] > 0
+        assert led["writes_by_cause"]["flood"] == 0
+        # Rewarm writes can only appear in phases after the restart.
+        for p in report.phases:
+            if p.end <= n // 2:
+                assert p.writes_by_cause["rewarm_after_restart"] == 0
+
+    def test_flood_attributes_injected_writes(self, trace):
+        n = REQUESTS
+        events = (
+            EventSpec(kind="hot_key_flood", at=n // 4, length=n // 4),
+        )
+        report = run_scenario(
+            ScenarioSpec(nodes=3, requests=n, events=events),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        assert led["writes_by_cause"]["flood"] > 0
+        assert led["writes_by_cause"]["rewarm_after_restart"] == 0
+
+    def test_denials_become_avoided_writes(self, reference_report):
+        led = reference_report.ledger
+        denied = sum(p.admissions_denied for p in reference_report.phases)
+        assert led["avoided_writes"] == denied
+        assert led["avoided_bytes"] > 0
+        # The noisy classifier and the deployed oracle both deny; the DC
+        # tier admits everything, so it never avoids.
+        assert "dc" not in led["avoided_by_model"]
+
+    def test_model_labels_follow_the_rolling_deploy(self, reference_report):
+        by_model = reference_report.ledger["writes_by_model"]
+        # Reference timeline: noisy admission everywhere, oracle deployed
+        # fleet-wide in the last quarter, DC writes under their own label.
+        assert set(by_model) == {"noisy", "oracle", "dc"}
+        assert by_model["noisy"] > by_model["oracle"] > 0
+
+
+class TestReportSurface:
+    def test_to_dict_carries_the_ledger_section(self, reference_report):
+        payload = reference_report.to_dict()
+        assert payload["ledger"] == reference_report.ledger
+        assert payload["phases"][0]["writes_by_cause"] is not None
+
+    def test_format_report_renders_provenance_line(self, reference_report):
+        from repro.scenario import format_report
+
+        text = format_report(reference_report)
+        assert "write provenance (exact" in text
+        assert "avoided" in text
+
+
+class TestScenarioSpans:
+    def test_tracer_records_one_span_per_phase_plus_root(self, trace):
+        spec = reference_scenario(REQUESTS, seed=0)
+        tracer = Tracer()
+        report = run_scenario(
+            spec, trace, with_baseline=False, with_oracle=False,
+            tracer=tracer,
+        )
+        events = tracer.events()
+        names = [e["name"] for e in events]
+        assert names.count("replay") == 1
+        phase_names = [n for n in names if n.startswith("phase")]
+        assert len(phase_names) == len(report.phases)
+        # One track for the whole replay: phases nest inside the root.
+        assert len({e["track"] for e in events}) == 1
+        assert validate_chrome_trace(tracer.to_chrome()) == len(events)
+
+    def test_tracer_does_not_perturb_the_report(self, trace, reference_report):
+        traced = run_scenario(
+            reference_scenario(REQUESTS, seed=0), trace, tracer=Tracer()
+        )
+        assert (
+            json.dumps(traced.to_dict(), sort_keys=True)
+            == json.dumps(reference_report.to_dict(), sort_keys=True)
+        )

@@ -149,3 +149,63 @@ def test_serve_metrics_port_exposes_prometheus_and_health(trace_file):
         proc.send_signal(signal.SIGTERM)
         proc.communicate(timeout=30)
     assert proc.returncode == 0
+
+
+def test_spans_dump_exports_chrome_trace(trace_file, tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    lg_trace = tmp_path / "loadgen_trace.json"
+    dump = tmp_path / "server_trace.json"
+    proc, port, _ = spawn_server(trace_file, "--spans")
+    try:
+        rc = main(
+            [
+                "loadgen",
+                "--trace", str(trace_file),
+                "--port", str(port),
+                "--rate", "30000",
+                "--limit", "2000",
+                "--chrome-trace", str(lg_trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+
+        # Client-side spans: per-connection send/recv plus the replay root.
+        client_doc = json.loads(lg_trace.read_text())
+        n_client = validate_chrome_trace(client_doc)
+        assert n_client > 0
+        client_names = {
+            ev["name"] for ev in client_doc["traceEvents"]
+            if ev.get("ph") == "X"
+        }
+        assert "send" in client_names and "recv" in client_names
+
+        # Server-side spans drained over TCP by the spans-dump CLI.
+        rc = main(["spans-dump", "--port", str(port), "--output", str(dump)])
+        assert rc == 0
+        doc = json.loads(dump.read_text())
+        n_spans = validate_chrome_trace(doc)
+        assert n_spans > 0
+        names = {
+            ev["name"] for ev in doc["traceEvents"] if ev.get("ph") == "X"
+        }
+        assert {"request_batch", "process_batch", "cache_ops"} <= names
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+    assert proc.returncode == 0
+
+
+def test_spans_dump_reports_disabled_tracing(trace_file, capsys):
+    proc, port, _ = spawn_server(trace_file)
+    try:
+        rc = main(["spans-dump", "--port", str(port)])
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+    assert rc == 1
+    assert "span tracing disabled" in capsys.readouterr().err

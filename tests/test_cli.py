@@ -36,12 +36,24 @@ class TestParser:
             ["loadgen", "--rate", "5000", "--connections", "8", "--limit",
              "1000"],
             ["bench-hotpath", "--quick"],
+            ["bench-hotpath", "--components", "spans"],
             ["scenario", "--requests", "500", "--no-oracle"],
+            ["serve", "--port", "0", "--spans", "--spans-capacity", "4096"],
+            ["loadgen", "--chrome-trace", "lg.json"],
+            ["scenario", "--requests", "500", "--chrome-trace", "sc.json"],
         ],
     )
     def test_commands_parse(self, argv):
         args = build_parser().parse_args(argv + BASE)
         assert args.command == argv[0]
+
+    def test_spans_dump_parses_without_trace_args(self):
+        args = build_parser().parse_args(
+            ["spans-dump", "--port", "9999", "--limit", "50",
+             "--output", "t.json"]
+        )
+        assert args.command == "spans-dump"
+        assert args.port == 9999 and args.limit == 50
 
 
 class TestConsoleScript:
@@ -166,6 +178,30 @@ class TestCommands:
         assert report["kind"] == "cluster_scenario"
         assert report["baseline_equal"] is True
         assert report["phases"]
+
+    def test_scenario_chrome_trace_and_ledger(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        output = tmp_path / "scenario.json"
+        trace_out = tmp_path / "trace.json"
+        argv = ["scenario", "--requests", "2000", "--json", str(output),
+                "--chrome-trace", str(trace_out), "--no-oracle", *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "write provenance (exact" in out
+        assert "ui.perfetto.dev" in out
+
+        report = json.loads(output.read_text())
+        led = report["ledger"]
+        assert led["exact"] is True
+        assert sum(led["writes_by_cause"].values()) == led["cluster_ssd_writes"]
+
+        doc = json.loads(trace_out.read_text())
+        n_spans = validate_chrome_trace(doc)
+        # One span per phase plus the replay root.
+        assert n_spans == len(report["phases"]) + 1
 
     def test_scenario_from_spec_file(self, tmp_path, capsys):
         import json
