@@ -1,32 +1,111 @@
 """Serving-layer throughput: loadgen vs. cache node over localhost TCP.
 
-Measures the asyncio node end to end — framing, sequencing, micro-batched
-inference, cache access — under open-loop load, with and without the
-classifier, reporting achieved requests/s and latency percentiles.  The
-classifier's serving overhead is the Eq.-6 question asked of the *whole
-service* rather than the bare decision path (``bench_tclassify``).
+Dual-mode module, like ``bench_hotpath.py``/``bench_cluster_scenario.py``:
 
-Scale: ``REPRO_BENCH_SERVER_REQUESTS`` trace requests (default 30 000),
-offered at ``REPRO_BENCH_SERVER_RATE`` req/s (default 50 000 — beyond
-capacity, so the achieved rate *is* the node's throughput).
+* **Script / CI**: ``python benchmarks/bench_server_throughput.py
+  [--quick]`` replays the same open-loop workload through every serving
+  mode — JSON vs binary (v2) framing crossed with per-row vs columnar
+  feature extraction, plus a uvloop variant of the headline mode when the
+  wheel is importable — prints the matrix and writes
+  ``BENCH_server_throughput.json`` (``"kind": "server_throughput"``) for
+  the CI trend gate.  The run fails unless every mode finishes with zero
+  errors and **bit-identical server state**: the same stats counters, the
+  same write-ledger totals, and the same per-request denied mask, replay
+  for replay.  ``--min-speedup`` additionally gates the headline
+  binary+columnar mode against the ``json-row`` baseline (the PR-7
+  serving path).
+* **pytest-benchmark suite**: collected like the other ``bench_*``
+  modules; runs the quick matrix on the session trace and persists the
+  table under ``results/``.
+
+Scale: ``REPRO_BENCH_SERVER_REQUESTS`` trace requests per mode (default
+30 000 full / 6 000 quick), offered at ``REPRO_BENCH_SERVER_RATE`` req/s
+(default 1 000 000 — far beyond capacity, so the achieved rate *is* the
+node's throughput).
 """
 
+from __future__ import annotations
+
+import argparse
 import asyncio
+import json
 import os
+import sys
+from pathlib import Path
 
-from common import emit
+import numpy as np
 
-from repro.server.loadgen import LoadgenConfig, run_loadgen
-from repro.server.node import CacheNode, CacheNodeServer, NodeConfig
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
-REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQUESTS", "30000"))
-RATE = float(os.environ.get("REPRO_BENCH_SERVER_RATE", "50000"))
+try:
+    from repro.server.loadgen import LoadgenConfig, run_loadgen
+    from repro.server.loop import (
+        install_uvloop,
+        loop_label,
+        reset_loop_policy,
+        uvloop_available,
+    )
+    from repro.server.node import CacheNode, CacheNodeServer, NodeConfig
+    from repro.trace.generator import WorkloadConfig, generate_trace
+except ImportError:  # script run without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    from repro.server.loadgen import LoadgenConfig, run_loadgen
+    from repro.server.loop import (
+        install_uvloop,
+        loop_label,
+        reset_loop_policy,
+        uvloop_available,
+    )
+    from repro.server.node import CacheNode, CacheNodeServer, NodeConfig
+    from repro.trace.generator import WorkloadConfig, generate_trace
+
+KIND = "server_throughput"
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_server_throughput.json"
+
+FULL_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQUESTS", "30000"))
+QUICK_REQUESTS = 6_000
+RATE = float(os.environ.get("REPRO_BENCH_SERVER_RATE", "1000000"))
 CONNECTIONS = 8
+#: Replays per mode in full mode — the matrix reports each mode's best
+#: rate (parity is asserted on *every* replay), which is the standard
+#: noise shield for throughput numbers on shared machines.
+FULL_REPEATS = int(os.environ.get("REPRO_BENCH_SERVER_REPEATS", "3"))
+
+#: The serving matrix: wire protocol × feature-extraction batching.
+#: ``json-row`` is the PR-7 serving path and the speedup denominator;
+#: ``binary-columnar`` is the headline fast path.
+MODES = (
+    ("json-row", "json", False),
+    ("json-columnar", "json", True),
+    ("binary-row", "binary", False),
+    ("binary-columnar", "binary", True),
+)
+BASELINE_MODE = "json-row"
+HEADLINE_MODE = "binary-columnar"
+
+#: Stats keys that must match bit-for-bit across every mode — the server's
+#: entire admission outcome, excluding only wall-clock timings.
+PARITY_STATS = (
+    "requests",
+    "hits",
+    "hit_rate",
+    "byte_hit_rate",
+    "files_written",
+    "bytes_written",
+    "evictions",
+    "admissions_denied",
+    "rectified_admits",
+)
+
+#: The generator yields ≈3.95 accesses/object; size the synthetic trace so
+#: it comfortably covers the requested replay length.
+_ACCESSES_PER_OBJECT = 3.5
 
 
-async def _serve_and_replay(trace, classifier: bool):
+async def _serve_and_replay(trace, *, protocol, columnar, requests, rate):
     node = CacheNode(
-        trace, NodeConfig(capacity_fraction=0.02, classifier=classifier)
+        trace,
+        NodeConfig(capacity_fraction=0.02, classifier=True, columnar=columnar),
     )
     server = CacheNodeServer(node, port=0, queue_depth=4096)
     await server.start()
@@ -35,62 +114,269 @@ async def _serve_and_replay(trace, classifier: bool):
             trace,
             LoadgenConfig(
                 port=server.port,
-                rate=RATE,
+                rate=rate,
                 connections=CONNECTIONS,
-                limit=REQUESTS,
+                limit=requests,
+                protocol=protocol,
             ),
         )
     finally:
         await server.shutdown()
-    return node, result
+    return result, node.denied_mask.copy()
 
 
-def _row(label, result):
-    lat = result.latency
-    s = result.server_stats
+def _run_mode(trace, *, protocol, columnar, requests, rate, uvloop=False):
+    """One replay; returns ``(result, parity_fingerprint)``."""
+    installed = install_uvloop(uvloop)
+    try:
+        result, denied = asyncio.run(
+            _serve_and_replay(
+                trace,
+                protocol=protocol,
+                columnar=columnar,
+                requests=requests,
+                rate=rate,
+            )
+        )
+    finally:
+        if installed:
+            reset_loop_policy()
+    stats = result.server_stats or {}
+    fingerprint = {
+        "stats": {k: stats.get(k) for k in PARITY_STATS},
+        "ledger": stats.get("ledger"),
+        "denied": denied,
+    }
+    return result, installed, fingerprint
+
+
+def _fingerprints_equal(a: dict, b: dict) -> bool:
     return (
-        f"{label:14s} {result.achieved_rate:10,.0f} "
-        f"{1e3 * lat['p50']:8.2f} {1e3 * lat['p99']:8.2f} "
-        f"{s['hit_rate']:8.3f} {s['files_written']:10,d} "
-        f"{result.errors:7d}"
+        a["stats"] == b["stats"]
+        and a["ledger"] == b["ledger"]
+        and np.array_equal(a["denied"], b["denied"])
     )
+
+
+def run_throughput_bench(
+    *,
+    quick: bool = False,
+    trace=None,
+    requests: int | None = None,
+    rate: float | None = None,
+    seed: int = 0,
+    uvloop_modes: bool | None = None,
+    repeats: int | None = None,
+) -> dict:
+    """Replay the mode matrix and return the trend-gate report dict.
+
+    Every mode replays the *same* trace prefix against a fresh node; the
+    report carries per-mode achieved req/s plus a parity verdict proving
+    the fast paths changed nothing but speed.  ``uvloop_modes`` defaults
+    to auto-detection (the wheel is optional); when active the headline
+    mode is rerun under uvloop's loop as an extra row.  Each mode replays
+    ``repeats`` times (3 full / 1 quick by default) and reports its best
+    rate; parity is asserted on every replay, so the noise shield cannot
+    hide a correctness break.
+    """
+    if requests is None:
+        requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    if rate is None:
+        rate = RATE
+    if repeats is None:
+        repeats = 1 if quick else FULL_REPEATS
+    if trace is None:
+        objects = max(2_000, int(requests / _ACCESSES_PER_OBJECT))
+        trace = generate_trace(WorkloadConfig(n_objects=objects, seed=seed))
+    requests = min(requests, trace.n_accesses)
+    if uvloop_modes is None:
+        uvloop_modes = uvloop_available()
+
+    runs = [(label, proto, col, False) for label, proto, col in MODES]
+    if uvloop_modes:
+        runs.append((f"{HEADLINE_MODE}-uvloop", "binary", True, True))
+
+    modes: dict = {}
+    fingerprints: dict = {}
+    diverged: set = set()
+    best: dict = {}
+    # Rounds are interleaved (every mode once per round, repeated) rather
+    # than back-to-back per mode, so a slow phase on a shared host hits
+    # all modes symmetrically instead of biasing whichever mode it lands
+    # on — best-of-rounds then compares like against like.
+    for _ in range(max(1, repeats)):
+        for label, proto, col, uv in runs:
+            result, installed, fp = _run_mode(
+                trace,
+                protocol=proto,
+                columnar=col,
+                requests=requests,
+                rate=rate,
+                uvloop=uv,
+            )
+            prior = fingerprints.setdefault(label, fp)
+            if prior is not fp and not _fingerprints_equal(prior, fp):
+                diverged.add(label)  # replay nondeterminism inside one mode
+            held = best.get(label)
+            if held is None or result.achieved_rate > held[0].achieved_rate:
+                best[label] = (result, installed)
+    for label, proto, col, uv in runs:
+        result, installed = best[label]
+        lat = result.latency
+        modes[label] = {
+            "protocol": proto,
+            "columnar": col,
+            "loop": loop_label(installed),
+            "requests_per_second": result.achieved_rate,
+            "p50_ms": 1e3 * lat["p50"],
+            "p99_ms": 1e3 * lat["p99"],
+            "completed": result.completed,
+            "errors": result.errors,
+            "hit_rate": result.hit_rate,
+        }
+
+    ref = fingerprints[BASELINE_MODE]
+    mismatched = sorted(
+        diverged
+        | {
+            label
+            for label, fp in fingerprints.items()
+            if not _fingerprints_equal(ref, fp)
+        }
+    )
+    base_rate = modes[BASELINE_MODE]["requests_per_second"]
+    head_rate = modes[HEADLINE_MODE]["requests_per_second"]
+    return {
+        "kind": KIND,
+        "quick": quick,
+        "requests": requests,
+        "rate_offered": rate,
+        "connections": CONNECTIONS,
+        "repeats": max(1, repeats),
+        "trace": {"objects": trace.n_objects, "seed": seed},
+        "modes": modes,
+        "parity": {
+            "identical": not mismatched,
+            "mismatched_modes": mismatched,
+            "stats": ref["stats"],
+            "ledger": ref["ledger"],
+            "denied": int(np.count_nonzero(ref["denied"])),
+        },
+        "speedup": head_rate / base_rate if base_rate else 0.0,
+    }
+
+
+class ThroughputError(AssertionError):
+    """A serving-mode invariant (errors, parity, speed floor) failed."""
+
+
+def check_report(report: dict, *, min_speedup: float = 0.0) -> None:
+    """Raise :class:`ThroughputError` on errors, divergence, or a missed floor."""
+    errored = {
+        label: m["errors"] for label, m in report["modes"].items() if m["errors"]
+    }
+    if errored:
+        raise ThroughputError(f"modes finished with errors: {errored}")
+    if not report["parity"]["identical"]:
+        raise ThroughputError(
+            "server state diverged across serving modes: "
+            f"{report['parity']['mismatched_modes']} != {BASELINE_MODE}"
+        )
+    if min_speedup > 0 and report["speedup"] < min_speedup:
+        raise ThroughputError(
+            f"{HEADLINE_MODE} is {report['speedup']:.2f}× {BASELINE_MODE}, "
+            f"below the {min_speedup:.1f}× floor"
+        )
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        "serving throughput — open-loop trace replay over localhost TCP "
+        f"({'quick' if report['quick'] else 'full'} mode)",
+        f"requests={report['requests']:,} "
+        f"offered={report['rate_offered']:,.0f}/s "
+        f"connections={report['connections']}",
+        f"{'mode':24s} {'loop':>8s} {'req/s':>10s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'errors':>7s}",
+    ]
+    for label, m in report["modes"].items():
+        lines.append(
+            f"{label:24s} {m['loop']:>8s} {m['requests_per_second']:10,.0f} "
+            f"{m['p50_ms']:8.2f} {m['p99_ms']:8.2f} {m['errors']:7d}"
+        )
+    parity = report["parity"]
+    stats = parity["stats"]
+    lines += [
+        f"{HEADLINE_MODE} vs {BASELINE_MODE}: {report['speedup']:.2f}×",
+        "server-state parity across modes: "
+        + ("IDENTICAL" if parity["identical"] else "DIVERGED"),
+        f"  hits={stats['hits']:,} writes={stats['files_written']:,} "
+        f"bytes={stats['bytes_written']:,} denied={parity['denied']:,} "
+        f"ledger_writes={parity['ledger']['total_writes']:,}",
+    ]
+    return "\n".join(lines)
 
 
 def bench_server_throughput(benchmark, trace, capsys):
-    def run():
-        baseline = asyncio.run(_serve_and_replay(trace, classifier=False))
-        classified = asyncio.run(_serve_and_replay(trace, classifier=True))
-        return baseline, classified
+    """pytest-benchmark entry: quick matrix on the session trace."""
+    from common import emit
 
-    (_, bres), (_, cres) = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(
+        lambda: run_throughput_bench(quick=True, trace=trace),
+        rounds=1,
+        iterations=1,
+    )
+    check_report(report)
+    emit(capsys, "server_throughput", format_report(report))
 
-    assert bres.errors == 0 and cres.errors == 0
-    n_replayed = min(REQUESTS, trace.n_accesses)
-    header = (
-        f"{'config':14s} {'req/s':>10s} {'p50 ms':>8s} {'p99 ms':>8s} "
-        f"{'hit':>8s} {'writes':>10s} {'errors':>7s}"
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Replay the serving-mode matrix and write "
+        "BENCH_server_throughput.json."
     )
-    overhead = (
-        1.0 - cres.achieved_rate / bres.achieved_rate
-        if bres.achieved_rate
-        else 0.0
+    ap.add_argument("--quick", action="store_true",
+                    help="small replay (CI smoke mode)")
+    ap.add_argument("--requests", type=int, default=None,
+                    help="requests per mode (default: 30k full, 6k quick)")
+    ap.add_argument("--rate", type=float, default=None,
+                    help=f"offered req/s (default: {RATE:,.0f})")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="floor for binary-columnar vs json-row "
+                         "(default: 3.0 full, 0 quick)")
+    ap.add_argument("--no-uvloop", action="store_true",
+                    help="skip the uvloop variant even when importable")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="replays per mode, best rate wins "
+                         f"(default: {FULL_REPEATS} full, 1 quick)")
+    ap.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                    help="where to write BENCH_server_throughput.json")
+    args = ap.parse_args(argv)
+
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 0.0 if args.quick else 3.0
+
+    report = run_throughput_bench(
+        quick=args.quick,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        uvloop_modes=False if args.no_uvloop else None,
+        repeats=args.repeats,
     )
-    write_cut = (
-        1.0 - cres.server_stats["files_written"] / bres.server_stats["files_written"]
-        if bres.server_stats["files_written"]
-        else 0.0
-    )
-    t = cres.server_stats["t_classify"]
-    lines = [
-        "serving throughput — open-loop trace replay over localhost TCP",
-        f"requests={n_replayed:,} offered={RATE:,.0f}/s "
-        f"connections={CONNECTIONS}",
-        header,
-        _row("always-admit", bres),
-        _row("classified", cres),
-        f"classifier throughput overhead : {100 * overhead:+.1f}%",
-        f"SSD write reduction            : {100 * write_cut:.1f}%",
-        f"amortised t_classify           : {1e6 * t['mean']:.2f} µs mean, "
-        f"{1e6 * t['p99']:.2f} µs p99 (micro-batched)",
-    ]
-    emit(capsys, "server_throughput", "\n".join(lines))
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(format_report(report))
+    print(f"[saved to {args.output}]")
+    try:
+        check_report(report, min_speedup=min_speedup)
+    except ThroughputError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

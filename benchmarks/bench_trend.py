@@ -1,9 +1,10 @@
 """Bench-trend gate: diff two benchmark JSON reports in CI.
 
-The perf-smoke and scenario-smoke jobs upload their reports as artifacts
-on every run; on the next run they download the previous report and call
-this script to diff it against the fresh one.  Two report kinds are
-understood, dispatched on the reports' ``"kind"`` field:
+The perf-smoke, scenario-smoke and server-throughput-smoke jobs upload
+their reports as artifacts on every run; on the next run they download
+the previous report and call this script to diff it against the fresh
+one.  Three report kinds are understood, dispatched on the reports'
+``"kind"`` field:
 
 * **hot-path reports** (``BENCH_hotpath.json``, no kind tag): ns/op per
   component.  A component more than ``--threshold`` (default 20 %)
@@ -15,6 +16,10 @@ understood, dispatched on the reports' ``"kind"`` field:
   single cache.  A phase whose absolute gap grew more than
   ``--threshold`` beyond a small absolute slack fails: the commit made
   failover behaviour worse, not the workload.
+* **server-throughput reports** (``BENCH_server_throughput.json``,
+  ``"kind": "server_throughput"``): achieved req/s per serving mode
+  (protocol × batching × loop).  A mode more than ``--threshold``
+  *slower* than its baseline fails; faster is always fine.
 
 Robustness rules, in order:
 
@@ -42,14 +47,17 @@ from pathlib import Path
 __all__ = [
     "compare_reports",
     "compare_scenario_reports",
+    "compare_server_reports",
     "format_markdown",
     "format_scenario_markdown",
+    "format_server_markdown",
     "main",
 ]
 
 DEFAULT_THRESHOLD = 0.20
 
 SCENARIO_KIND = "cluster_scenario"
+SERVER_KIND = "server_throughput"
 #: Absolute slack added on top of the relative threshold when gating
 #: oracle gaps: a gap moving 0.001 → 0.002 is +100 % relative but pure
 #: noise — only growth beyond ``base*(1+threshold) + slack`` fails.
@@ -228,6 +236,98 @@ def format_scenario_markdown(result: dict) -> str:
     return "\n".join(lines)
 
 
+def compare_server_reports(
+    baseline: dict, current: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Diff per-mode achieved req/s between two throughput reports.
+
+    Modes are matched by label (``json-row``, ``binary-columnar``, …);
+    labels present on only one side (a mode was added, or the uvloop
+    wheel appeared/disappeared) are listed but never fail the gate.  A
+    shared mode regresses when its rate *dropped* by more than
+    ``threshold``: ``current < baseline * (1 - threshold)``.
+    """
+    base_modes = baseline.get("modes", {})
+    cur_modes = current.get("modes", {})
+    shared = sorted(set(base_modes) & set(cur_modes))
+    rows = []
+    regressions = []
+    for label in shared:
+        b = base_modes[label]["requests_per_second"]
+        c = cur_modes[label]["requests_per_second"]
+        delta = (c - b) / b if b > 0 else 0.0
+        rows.append(
+            {
+                "mode": label,
+                "baseline_rps": b,
+                "current_rps": c,
+                "delta": delta,
+            }
+        )
+        if delta < -threshold:
+            regressions.append(label)
+    return {
+        "rows": rows,
+        "added": sorted(set(cur_modes) - set(base_modes)),
+        "removed": sorted(set(base_modes) - set(cur_modes)),
+        "regressions": regressions,
+        "threshold": threshold,
+        "speedup": {
+            "baseline": baseline.get("speedup"),
+            "current": current.get("speedup"),
+        },
+        "modes": {
+            "baseline": "quick" if baseline.get("quick") else "full",
+            "current": "quick" if current.get("quick") else "full",
+        },
+    }
+
+
+def format_server_markdown(result: dict) -> str:
+    """GitHub-flavoured markdown for the serving-throughput trend."""
+    modes = result["modes"]
+    lines = [
+        "## Serving-throughput trend",
+        "",
+        f"Threshold: **{100 * result['threshold']:.0f}%** fewer req/s fails "
+        f"(baseline: {modes['baseline']} mode, current: {modes['current']} "
+        "mode).",
+        "",
+        "| mode | baseline req/s | current req/s | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in result["rows"]:
+        if row["delta"] < -result["threshold"]:
+            status = "REGRESSION"
+        elif row["delta"] > result["threshold"]:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"| `{row['mode']}` | {row['baseline_rps']:,.0f} "
+            f"| {row['current_rps']:,.0f} | {_fmt_delta(row['delta'])} "
+            f"| {status} |"
+        )
+    if not result["rows"]:
+        lines.append("| _no shared modes_ | | | | |")
+    speed = result["speedup"]
+    if speed["baseline"] is not None and speed["current"] is not None:
+        lines += ["", f"binary-columnar vs json-row: "
+                  f"{speed['baseline']:.2f}× → {speed['current']:.2f}×"]
+    if result["added"]:
+        lines += ["", "New modes (no baseline): "
+                  + ", ".join(f"`{m}`" for m in result["added"])]
+    if result["removed"]:
+        lines += ["", "Dropped modes: "
+                  + ", ".join(f"`{m}`" for m in result["removed"])]
+    if result["regressions"]:
+        lines += ["", "**FAILED** — throughput regressed beyond threshold: "
+                  + ", ".join(f"`{m}`" for m in result["regressions"])]
+    else:
+        lines += ["", "No mode's throughput regressed beyond the threshold."]
+    return "\n".join(lines)
+
+
 def _load(path: str) -> dict | None:
     p = Path(path)
     if not p.is_file():
@@ -273,19 +373,24 @@ def main(argv: list[str] | None = None) -> int:
 
     base_kind = baseline.get("kind")
     cur_kind = current.get("kind")
-    if SCENARIO_KIND in (base_kind, cur_kind):
-        if base_kind != cur_kind:
-            msg = (f"report kinds differ (baseline={base_kind!r}, "
-                   f"current={cur_kind!r}) — trend gate skipped")
-            print(msg)
-            if summary_path:
-                with open(summary_path, "a") as fh:
-                    fh.write(f"## Bench trend\n\n{msg}\n")
-            return 0
+    if base_kind != cur_kind:
+        msg = (f"report kinds differ (baseline={base_kind!r}, "
+               f"current={cur_kind!r}) — trend gate skipped")
+        print(msg)
+        if summary_path:
+            with open(summary_path, "a") as fh:
+                fh.write(f"## Bench trend\n\n{msg}\n")
+        return 0
+    if cur_kind == SCENARIO_KIND:
         result = compare_scenario_reports(
             baseline, current, threshold=args.threshold
         )
         table = format_scenario_markdown(result)
+    elif cur_kind == SERVER_KIND:
+        result = compare_server_reports(
+            baseline, current, threshold=args.threshold
+        )
+        table = format_server_markdown(result)
     else:
         result = compare_reports(baseline, current, threshold=args.threshold)
         table = format_markdown(result)

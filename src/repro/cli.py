@@ -164,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cost-v", type=float, default=2.0)
     p.add_argument("--max-batch", type=int, default=256,
                    help="max requests per micro-batched inference call")
+    p.add_argument("--no-columnar", action="store_true",
+                   help="fill the feature matrix row by row instead of the "
+                        "vectorised columnar batch path (same verdicts)")
+    p.add_argument("--no-uvloop", action="store_true",
+                   help="stay on the stdlib asyncio loop even when uvloop "
+                        "is installed")
     p.add_argument("--queue-depth", type=int, default=1024,
                    help="bounded request queue (backpressure threshold)")
     p.add_argument("--retrain-period", type=float, default=0.0,
@@ -206,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=0)
     p.add_argument("--limit", type=int, default=None,
                    help="replay only the first LIMIT positions from --start")
+    p.add_argument("--protocol", choices=("json", "binary"), default="json",
+                   help="wire protocol for GET replay (binary = compact v2 "
+                        "frames; identical server verdicts and counters)")
+    p.add_argument("--no-uvloop", action="store_true",
+                   help="stay on the stdlib asyncio loop even when uvloop "
+                        "is installed")
     p.add_argument("--chrome-trace", default=None,
                    help="record client-side send/recv spans and write them "
                         "as Chrome trace-event JSON to this path")
@@ -228,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "full mode, unchecked with --quick)")
     p.add_argument("--components", default=None,
                    help="comma-separated measurement groups "
-                        "(tree,tracker,admission,segments,spans; "
+                        "(tree,tracker,admission,segments,spans,gbdt; "
                         "default: all)")
 
     p = sub.add_parser(
@@ -456,11 +468,14 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.obs import DecisionTrace, DriftMonitor, Tracer, configure_logging
+    from repro.server.loop import install_uvloop, loop_label
     from repro.server.metrics import format_metrics, metrics_snapshot
     from repro.server.node import CacheNode, NodeConfig, run_server
     from repro.server.retrainer import Retrainer, RetrainerConfig
 
     configure_logging(args.log_level, json_format=args.log_json)
+    uv = install_uvloop(enable=not args.no_uvloop)
+    print(f"event loop: {loop_label(uv)}")
     trace = _resolve_trace(args)
     tracer = None
     if args.trace_sample > 0:
@@ -478,6 +493,7 @@ def _cmd_serve(args) -> int:
             cost_v=args.cost_v,
             seed=args.seed,
             max_batch=args.max_batch,
+            columnar=not args.no_columnar,
         ),
         tracer=tracer,
         spans=spans,
@@ -523,9 +539,12 @@ def _cmd_loadgen(args) -> int:
 
     from repro.obs import Tracer, configure_logging
     from repro.server.loadgen import LoadgenConfig, run_loadgen
+    from repro.server.loop import install_uvloop, loop_label
     from repro.server.metrics import format_metrics
 
     configure_logging(args.log_level, json_format=args.log_json)
+    uv = install_uvloop(enable=not args.no_uvloop)
+    print(f"event loop: {loop_label(uv)}")
     trace = _resolve_trace(args)
     tracer = Tracer() if args.chrome_trace else None
     result = asyncio.run(
@@ -538,6 +557,7 @@ def _cmd_loadgen(args) -> int:
                 connections=args.connections,
                 start=args.start,
                 limit=args.limit,
+                protocol=args.protocol,
             ),
             tracer=tracer,
         )

@@ -226,9 +226,13 @@ class CostSensitiveClassifier(BaseEstimator):
         thresholding method's posterior shift — is baked into the
         code-generated tree (each leaf's label is precomputed under the
         cost rule), so one compiled call replaces proba + threshold +
-        relabel.  Non-tree bases fall back to the generic fast wrapper.
+        relabel.  Margin models exposing ``compile_proba`` (the GBDT) get
+        a compiled-posterior threshold instead: the ensemble's compiled
+        walkers produce the margin, one sigmoid + comparison produces the
+        verdict, bit-identical to ``predict``.  Other bases fall back to
+        the generic fast wrapper.
         """
-        from repro.ml.fastpath import _wrap_generic, fast_predictor
+        from repro.ml.fastpath import CompiledPredictor, _wrap_generic, fast_predictor
 
         self._check_fitted()
         inner = self.model_
@@ -245,4 +249,36 @@ class CostSensitiveClassifier(BaseEstimator):
                 p_pos >= self.cost_matrix.optimal_threshold, self.pos_label, neg
             ).astype(self.classes_.dtype)
             return inner.compile_predictor(leaf_labels=labels)
+        proba_compile = getattr(inner, "compile_proba", None)
+        if callable(proba_compile):
+            cp = proba_compile()
+            # ``compile_proba`` yields P(class 1); the reference compares
+            # ``proba[:, pos_col]``, i.e. 1 − p1 when pos_label is class 0.
+            pos_is_col1 = (
+                int(np.nonzero(inner.classes_ == self.pos_label)[0][0]) == 1
+            )
+            neg = self.classes_[self.classes_ != self.pos_label][0]
+            neg_scalar = neg.item()
+            pos_label = self.pos_label
+            thr = self.cost_matrix.optimal_threshold
+            dtype = self.classes_.dtype
+            proba_one = cp.predict_one
+            proba_batch = cp.predict
+
+            def predict_one(x):
+                p1 = proba_one(x)
+                p = p1 if pos_is_col1 else 1.0 - p1
+                return pos_label if p >= thr else neg_scalar
+
+            def predict(X):
+                p1 = proba_batch(X)
+                p = p1 if pos_is_col1 else 1.0 - p1
+                return np.where(p >= thr, pos_label, neg).astype(dtype)
+
+            return CompiledPredictor(
+                predict_one=predict_one,
+                predict=predict,
+                compiled=cp.compiled,
+                n_nodes=cp.n_nodes,
+            )
         return _wrap_generic(self)

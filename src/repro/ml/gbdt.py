@@ -270,3 +270,108 @@ class GradientBoostingClassifier(BaseEstimator):
         return self.classes_[
             (self.decision_function(X) >= 0).astype(np.int64)
         ]
+
+    # ------------------------------------------------------------- fast path
+
+    def compile_decision_function(self):
+        """Compiled margin functions, bit-identical to ``decision_function``.
+
+        Every regression tree is code-generated through
+        :func:`repro.ml.fastpath.compile_tree_arrays` (leaf values are the
+        labels, so the compiled walkers return exact ``value_`` entries);
+        the ensemble is then accumulated in the *same* float order as the
+        reference — ``F = F + learning_rate * tree(x)``, one tree at a
+        time from ``init_score_`` — so both the scalar and batch twins
+        reproduce the reference margins to the last bit.
+
+        Returns a :class:`~repro.ml.fastpath.CompiledPredictor` whose
+        ``predict_one``/``predict`` yield raw margins, not class labels.
+        """
+        from repro.ml.fastpath import CompiledPredictor, compile_tree_arrays
+
+        self._check_fitted()
+        trees = [
+            compile_tree_arrays(
+                t.feature_,
+                t.threshold_,
+                t.children_left_,
+                t.children_right_,
+                t.value_,
+                out_dtype=np.float64,
+            )
+            for t in self.estimators_
+        ]
+        ones = tuple(t.predict_one for t in trees)
+        batches = tuple(t.predict for t in trees)
+        init = self.init_score_
+        lr = self.learning_rate
+
+        def decision_one(x):
+            F = init
+            for f in ones:
+                F = F + lr * f(x)
+            return F
+
+        def decision_batch(X):
+            X = np.asarray(X, dtype=np.float64)
+            F = np.full(X.shape[0], init)
+            for f in batches:
+                F = F + lr * f(X)
+            return F
+
+        return CompiledPredictor(
+            predict_one=decision_one,
+            predict=decision_batch,
+            compiled=all(t.compiled for t in trees),
+            n_nodes=sum(t.n_nodes for t in trees),
+        )
+
+    def compile_proba(self):
+        """Compiled positive-class posterior (``predict_proba[:, 1]``).
+
+        The scalar twin pushes its margin through :func:`_sigmoid` on a
+        one-element array so the exact same elementwise exp is used as the
+        batch/reference path — ``math.exp`` may differ from ``np.exp`` in
+        the last ulp, which would break bit-parity at the threshold.
+        """
+        from repro.ml.fastpath import CompiledPredictor
+
+        df = self.compile_decision_function()
+        decision_one = df.predict_one
+        decision_batch = df.predict
+
+        def proba_one(x):
+            return float(_sigmoid(np.array([decision_one(x)]))[0])
+
+        def proba_batch(X):
+            return _sigmoid(decision_batch(X))
+
+        return CompiledPredictor(
+            predict_one=proba_one,
+            predict=proba_batch,
+            compiled=df.compiled,
+            n_nodes=df.n_nodes,
+        )
+
+    def compile_predictor(self):
+        """Compiled class predictions, bit-identical to ``predict``."""
+        from repro.ml.fastpath import CompiledPredictor
+
+        df = self.compile_decision_function()
+        decision_one = df.predict_one
+        decision_batch = df.predict
+        classes = self.classes_
+        neg, pos = classes.tolist()
+
+        def predict_one(x):
+            return pos if decision_one(x) >= 0 else neg
+
+        def predict(X):
+            return classes[(decision_batch(X) >= 0).astype(np.int64)]
+
+        return CompiledPredictor(
+            predict_one=predict_one,
+            predict=predict,
+            compiled=df.compiled,
+            n_nodes=df.n_nodes,
+        )

@@ -428,9 +428,34 @@ class Reservoir:
                 samples[j] = value
 
     def add_repeated(self, value: float, n: int) -> None:
-        """Record ``n`` identical observations (micro-batch amortisation)."""
-        for _ in range(n):
-            self.add(value)
+        """Record ``n`` identical observations (micro-batch amortisation).
+
+        State-for-state equivalent to calling :meth:`add` ``n`` times —
+        the same totals and the same RNG draw sequence, so the retained
+        sample is bit-identical — but totals/extrema update once and the
+        fill phase is a single ``extend``, keeping the serving hot loop's
+        per-batch cost near O(replacement draws) instead of O(n).
+        """
+        if n <= 0:
+            return
+        value = float(value)
+        count = self.count
+        self.count = count + n
+        self.total += value * n
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+        samples = self._samples
+        capacity = self.capacity
+        fill = min(n, capacity - len(samples))
+        if fill > 0:
+            samples.extend([value] * fill)
+        randrange = self._rng.randrange
+        for i in range(count + fill + 1, count + n + 1):
+            j = randrange(i)
+            if j < capacity:
+                samples[j] = value
 
     @property
     def mean(self) -> float:

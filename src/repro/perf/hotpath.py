@@ -61,6 +61,7 @@ from repro.core.labeling import one_time_labels, reaccess_distances
 from repro.core.online import OnlineClassifierAdmission, OnlineFeatureTracker
 from repro.ml.cost_sensitive import CostMatrix, CostSensitiveClassifier
 from repro.ml.fastpath import fast_predictor
+from repro.ml.gbdt import GradientBoostingClassifier
 from repro.ml.tree import DecisionTreeClassifier
 from repro.trace.generator import WorkloadConfig, generate_trace
 from repro.trace.records import Trace
@@ -79,9 +80,14 @@ PAPER_T_CLASSIFY_US = 0.4
 
 #: Selectable measurement groups (``--components``): feature tracker,
 #: single-row/batch tree inference, end-to-end admission (incl. the
-#: fast/reference decision-parity replay), the segmented simulator, and
-#: the span tracer's enabled vs disabled (no-op) record path.
-COMPONENT_GROUPS = ("tree", "tracker", "admission", "segments", "spans")
+#: fast/reference decision-parity replay), the segmented simulator, the
+#: span tracer's enabled vs disabled (no-op) record path, and the
+#: compiled GBDT ensemble vs its ``decision_function`` reference.
+COMPONENT_GROUPS = ("tree", "tracker", "admission", "segments", "spans", "gbdt")
+
+#: GBDT size for the ``gbdt`` component: large enough that the ensemble
+#: walk dominates timing, small enough that fitting stays a CI-smoke cost.
+GBDT_ESTIMATORS_FULL, GBDT_ESTIMATORS_QUICK = 30, 10
 
 #: Default scales: full mode targets the acceptance floor of a ≥100k-request
 #: parity replay; quick mode is the CI smoke size.
@@ -276,7 +282,7 @@ def run_hotpath_bench(
     if budget_seconds is None:
         budget_seconds = 0.05 if quick else 0.4
 
-    needs_main_trace = bool(groups & {"tree", "tracker", "admission"})
+    needs_main_trace = bool(groups & {"tree", "tracker", "admission", "gbdt"})
     if trace is None and needs_main_trace:
         trace = generate_trace(
             WorkloadConfig(
@@ -300,12 +306,11 @@ def run_hotpath_bench(
             "seed": seed,
         }
 
-    model = compiled = fm = None
+    model = compiled = fm = labels = None
     m = 0.0
     cap = 0
-    if groups & {"tree", "admission"}:
-        # The production model: cost-sensitive CART on the paper's five
-        # features.
+    if groups & {"tree", "admission", "gbdt"}:
+        # The paper's labelling pipeline feeds every model component.
         cap = max(1, trace.footprint_bytes // 100)
         criteria = solve_criteria(
             reaccess_distances(trace.object_ids), cap, trace.mean_object_size()
@@ -313,6 +318,9 @@ def run_hotpath_bench(
         m = criteria.m_threshold
         labels = one_time_labels(trace.object_ids, m)
         fm = extract_features(trace).select(PAPER_FEATURE_NAMES)
+    if groups & {"tree", "admission"}:
+        # The production model: cost-sensitive CART on the paper's five
+        # features.
         model = CostSensitiveClassifier(
             DecisionTreeClassifier(max_splits=30, rng=seed),
             CostMatrix(fn_cost=1.0, fp_cost=2.0),
@@ -409,7 +417,88 @@ def run_hotpath_bench(
     if "spans" in groups:
         _bench_spans(out, budget_seconds)
 
+    if "gbdt" in groups:
+        report["gbdt"] = _bench_gbdt(
+            fm.X, labels, seed, quick, out, budget_seconds
+        )
+
     return report
+
+
+def _bench_gbdt(
+    X: np.ndarray,
+    labels: np.ndarray,
+    seed: int,
+    quick: bool,
+    out: dict,
+    budget_seconds: float,
+) -> dict:
+    """Compiled GBDT ensemble vs the generic ``decision_function`` walk.
+
+    Fits a boosted ensemble on the same one-time labels as the CART
+    component, then measures single-row and per-row batch inference for
+    the reference path (``predict(x.reshape(1, -1))[0]`` / ``predict``)
+    against the compiled walkers from :func:`fast_predictor`.  Parity is
+    exact over the *full* feature matrix — class verdicts and raw margins
+    both bit-identical — and the section records ``compiled`` so the CI
+    gate can prove the ensemble did not fall back to the generic wrapper.
+    """
+    gb = GradientBoostingClassifier(
+        n_estimators=GBDT_ESTIMATORS_QUICK if quick else GBDT_ESTIMATORS_FULL,
+        max_depth=3,
+        rng=seed,
+    ).fit(X, labels)
+    cp = fast_predictor(gb)
+    margins = gb.compile_decision_function()
+
+    rng = np.random.default_rng(seed)
+    sample = X[rng.choice(X.shape[0], size=256, replace=False)]
+    sample_lists = [row.tolist() for row in sample]
+
+    ref_ns, ref_ops = _bench_loop(
+        lambda x: gb.predict(x.reshape(1, -1))[0],
+        list(sample),
+        budget_seconds=budget_seconds,
+    )
+    out["gbdt_single_reference"] = _component(ref_ns, ref_ops)
+    cmp_ns, cmp_ops = _bench_loop(
+        cp.predict_one, sample_lists, budget_seconds=budget_seconds
+    )
+    out["gbdt_single_compiled"] = _component(cmp_ns, cmp_ops, ref_ns)
+
+    bref_ns, bref_ops = _bench_loop(
+        gb.predict, [sample], budget_seconds=budget_seconds
+    )
+    out["gbdt_batch_reference"] = _component(
+        bref_ns / len(sample), bref_ops * len(sample)
+    )
+    bcmp_ns, bcmp_ops = _bench_loop(
+        cp.predict, [sample], budget_seconds=budget_seconds
+    )
+    out["gbdt_batch_compiled"] = _component(
+        bcmp_ns / len(sample), bcmp_ops * len(sample), bref_ns / len(sample)
+    )
+
+    ref_verdicts = gb.predict(X)
+    ref_margins = gb.decision_function(X)
+    single_rows = min(X.shape[0], 512)
+    identical = (
+        np.array_equal(cp.predict(X), ref_verdicts)
+        and np.array_equal(margins.predict(X), ref_margins)
+        and all(
+            cp.predict_one(X[i].tolist()) == ref_verdicts[i]
+            and margins.predict_one(X[i].tolist()) == ref_margins[i]
+            for i in range(single_rows)
+        )
+    )
+    return {
+        "rows": int(X.shape[0]),
+        "single_rows_checked": single_rows,
+        "n_estimators": len(gb.estimators_),
+        "n_nodes": cp.n_nodes,
+        "compiled": cp.compiled,
+        "parity": {"identical": bool(identical), "rows": int(X.shape[0])},
+    }
 
 
 def _bench_segments(seed: int, quick: bool, out: dict) -> dict:
@@ -515,6 +604,18 @@ def check_report(
             "segmented and loop simulations diverged: "
             f"{segments['parity']}"
         )
+    gbdt = report.get("gbdt")
+    if gbdt is not None:
+        if not gbdt["compiled"]:
+            raise BenchError(
+                "GBDT fell back to the generic predict wrapper instead of "
+                "compiling its ensemble"
+            )
+        if not gbdt["parity"]["identical"]:
+            raise BenchError(
+                "compiled GBDT diverged from decision_function over "
+                f"{gbdt['parity']['rows']:,} rows"
+            )
     components = report["components"]
     if min_speedup > 0 and "tree_single_compiled" in components:
         speedup = components["tree_single_compiled"]["speedup_vs_reference"]
@@ -567,6 +668,15 @@ def format_report(report: dict) -> str:
             f"segment batching over {segments['requests']:,} requests "
             f"({100 * segments['coverage']:.1f}% proven-hit coverage): "
             + ("IDENTICAL" if segments["parity"]["identical"] else "DIVERGED")
+        )
+    gbdt = report.get("gbdt")
+    if gbdt is not None:
+        lines.append(
+            f"gbdt ensemble ({gbdt['n_estimators']} trees, "
+            f"{gbdt['n_nodes']:,} nodes, "
+            + ("compiled" if gbdt["compiled"] else "generic fallback")
+            + f") over {gbdt['parity']['rows']:,} rows: "
+            + ("IDENTICAL" if gbdt["parity"]["identical"] else "DIVERGED")
         )
     return "\n".join(lines)
 

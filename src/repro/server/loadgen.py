@@ -15,6 +15,13 @@ Mechanics
 * Each connection runs an independent *sender* (fires at scheduled times,
   pipelining without waiting for replies) and *reader* (correlates
   responses by echoed ``index`` and records client-observed latency).
+* ``protocol="binary"`` replays through the compact v2 frames
+  (:func:`repro.server.protocol.pack_get_request`): the sender packs
+  requests into one buffer flushed at schedule gaps, the reader parses
+  chunked socket reads through a reused :class:`FrameDecoder` — the
+  client-side twin of the server's hot path.  ``"json"`` keeps the
+  original frame-at-a-time text path; server verdicts and counters are
+  bit-identical across the two.
 * After the replay, one extra connection fetches the server's STATS
   snapshot so the client report and the server's own counters travel
   together.
@@ -31,10 +38,39 @@ import numpy as np
 from repro.obs.registry import latency_buckets
 from repro.obs.spans import NULL_TRACER
 from repro.server.metrics import timing_stats
-from repro.server.protocol import ProtocolError, read_message, write_message
+from repro.server.protocol import (
+    BIN_GET,
+    BIN_GET_ERR,
+    BIN_GET_OK,
+    BIN_MAGIC,
+    FLAG_HIT,
+    FrameDecoder,
+    ProtocolError,
+    read_message,
+    write_message,
+)
 from repro.trace.records import Trace
 
 __all__ = ["LoadgenConfig", "LoadgenResult", "run_loadgen", "replay"]
+
+#: Flush the binary sender's request buffer at this size even without a
+#: schedule gap — bounds client memory at unsustainable offered rates.
+_SEND_FLUSH_BYTES = 256 * 1024
+
+#: One BIN_GET frame as a numpy record — big-endian fields matching
+#: :func:`repro.server.protocol.pack_get_request` byte for byte, so a
+#: connection's whole request stream packs in one vectorised ``tobytes``.
+_GET_WIRE_DTYPE = np.dtype(
+    [
+        ("magic", "u1"),
+        ("op", "u1"),
+        ("length", ">u2"),
+        ("index", ">u4"),
+        ("oid", ">u4"),
+        ("size", ">u4"),
+    ]
+)
+_GET_BODY_BYTES = 12  # index + oid + size, three u32
 
 
 @dataclass(frozen=True)
@@ -46,6 +82,7 @@ class LoadgenConfig:
     start: int = 0              # first trace position to replay
     limit: int | None = None    # positions replayed: [start, start+limit)
     fetch_stats: bool = True
+    protocol: str = "json"      # "json" | "binary" (v2 frames)
 
     def __post_init__(self):
         if self.rate <= 0:
@@ -56,6 +93,8 @@ class LoadgenConfig:
             raise ValueError("start must be >= 0")
         if self.limit is not None and self.limit < 1:
             raise ValueError("limit must be >= 1")
+        if self.protocol not in ("json", "binary"):
+            raise ValueError(f"unknown protocol: {self.protocol!r}")
 
 
 @dataclass
@@ -121,6 +160,7 @@ async def _replay_connection(
     sizes = trace.sizes
     in_flight: dict[int, float] = {}
     expected = positions.shape[0]
+    binary = cfg.protocol == "binary"
 
     async def read_responses() -> None:
         done = 0
@@ -129,27 +169,119 @@ async def _replay_connection(
         # time and must not share a Chrome tid.
         with spans.span("recv", "loadgen", connection=conn_id) as rspan:
             try:
-                while done < expected:
-                    msg = await read_message(reader)
-                    if msg is None:
-                        break
-                    if msg.get("op") != "GET":
-                        continue
-                    done += 1
-                    sent_at = in_flight.pop(msg.get("index"), None)
-                    if not msg.get("ok"):
-                        result.errors += 1
-                        continue
-                    result.completed += 1
-                    if msg.get("hit"):
-                        result.hits += 1
-                    if sent_at is not None:
-                        latencies.append(time.perf_counter() - sent_at)
+                if binary:
+                    # Chunked reads through the incremental decoder: one
+                    # socket read yields every pipelined response frame.
+                    # Latency is stamped once per chunk — the arrival time
+                    # of the read that carried the frame — and counters
+                    # accumulate in locals, committed per chunk.
+                    decoder = FrameDecoder()
+                    pop = in_flight.pop
+                    append = latencies.append
+                    while done < expected:
+                        data = await reader.read(256 * 1024)
+                        if not data:
+                            break
+                        now = time.perf_counter()
+                        completed = hits = errors = 0
+                        for frame in decoder.feed(data):
+                            if type(frame) is dict:
+                                continue
+                            op = frame[0]
+                            if op == BIN_GET_OK:
+                                done += 1
+                                sent_at = pop(frame[1], None)
+                                completed += 1
+                                if frame[2] & FLAG_HIT:
+                                    hits += 1
+                                if sent_at is not None:
+                                    append(now - sent_at)
+                            elif op == BIN_GET_ERR:
+                                done += 1
+                                pop(frame[1], None)
+                                errors += 1
+                        result.completed += completed
+                        result.hits += hits
+                        result.errors += errors
+                else:
+                    while done < expected:
+                        msg = await read_message(reader)
+                        if msg is None:
+                            break
+                        if msg.get("op") != "GET":
+                            continue
+                        done += 1
+                        sent_at = in_flight.pop(msg.get("index"), None)
+                        if not msg.get("ok"):
+                            result.errors += 1
+                            continue
+                        result.completed += 1
+                        if msg.get("hit"):
+                            result.hits += 1
+                        if sent_at is not None:
+                            latencies.append(time.perf_counter() - sent_at)
             except (ConnectionError, OSError, ProtocolError):
                 pass  # server went away mid-stream
             rspan.annotate(responses=done)
         # Anything never answered (server death, early close) is an error.
         result.errors += expected - done
+
+    async def send_json(loop) -> None:
+        for pos, due in zip(positions.tolist(), send_times.tolist()):
+            delay = t0 + due - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            in_flight[pos] = time.perf_counter()
+            result.sent += 1
+            await write_message(
+                writer,
+                {
+                    "op": "GET",
+                    "index": pos,
+                    "oid": int(oids[pos]),
+                    "size": int(sizes[pos]),
+                },
+            )
+
+    async def send_binary(loop) -> None:
+        # The whole wire stream for this connection is packed up front in
+        # one vectorised shot (the frames depend only on the trace), so
+        # the timing loop schedules and stamps but never serialises.
+        # Flushes happen when the schedule says sleep (the socket would
+        # sit idle anyway) or at the size bound — one write+drain per
+        # burst instead of per request.
+        frames = np.empty(expected, dtype=_GET_WIRE_DTYPE)
+        frames["magic"] = BIN_MAGIC
+        frames["op"] = BIN_GET
+        frames["length"] = _GET_BODY_BYTES
+        frames["index"] = positions
+        frames["oid"] = oids[positions]
+        frames["size"] = sizes[positions]
+        wire = memoryview(frames.tobytes())
+        stride = _GET_WIRE_DTYPE.itemsize
+        start = 0  # byte offset of the first unflushed frame
+        stamp = time.perf_counter
+        sent = 0
+        for i, (pos, due) in enumerate(
+            zip(positions.tolist(), send_times.tolist())
+        ):
+            delay = t0 + due - loop.time()
+            end = i * stride
+            if delay > 0 or end - start >= _SEND_FLUSH_BYTES:
+                if end > start:
+                    writer.write(wire[start:end])
+                    start = end
+                    result.sent += sent
+                    sent = 0
+                    await writer.drain()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            in_flight[pos] = stamp()
+            sent += 1
+        if len(wire) > start:
+            writer.write(wire[start:])
+            await writer.drain()
+        result.sent += sent
 
     reader_task = asyncio.ensure_future(read_responses())
     try:
@@ -158,21 +290,7 @@ async def _replay_connection(
             with spans.span(
                 "send", "loadgen", connection=conn_id, requests=expected
             ):
-                for pos, due in zip(positions.tolist(), send_times.tolist()):
-                    delay = t0 + due - loop.time()
-                    if delay > 0:
-                        await asyncio.sleep(delay)
-                    in_flight[pos] = time.perf_counter()
-                    result.sent += 1
-                    await write_message(
-                        writer,
-                        {
-                            "op": "GET",
-                            "index": pos,
-                            "oid": int(oids[pos]),
-                            "size": int(sizes[pos]),
-                        },
-                    )
+                await (send_binary(loop) if binary else send_json(loop))
         except (ConnectionError, OSError):
             pass  # server gone; the reader accounts for the shortfall
         await reader_task

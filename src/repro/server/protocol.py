@@ -26,6 +26,33 @@ Operations (client → server)
 Every response carries ``"ok"`` (bool) and echoes ``"op"``; GET responses
 echo ``"index"`` so pipelined responses can be correlated out of order.
 Errors are in-band: ``{"ok": false, "op": ..., "error": "..."}``.
+
+Binary protocol (v2)
+--------------------
+The GET hot path additionally speaks a compact binary framing that
+coexists with JSON *on the same connection*: a JSON frame's 4-byte
+big-endian length always starts with byte ``0x00`` (``MAX_MESSAGE_BYTES``
+is far below 2^24), so the first byte of every frame discriminates the
+two formats.  A binary frame is::
+
+    magic  u8   BIN_MAGIC (0xB2)
+    op     u8   BIN_GET / BIN_GET_OK / BIN_GET_ERR
+    length u16  payload bytes (big-endian)
+    payload     length-prefixed struct, op-specific
+
+``BIN_GET`` carries ``index/oid/size`` as three ``u32`` (``oid`` may be
+``BIN_NO_OID`` to skip catalog validation); ``BIN_GET_OK`` echoes the
+``u32`` index — the pipelining correlation key, exactly like the JSON
+``"index"`` echo — plus one flags byte (hit / admitted / denied);
+``BIN_GET_ERR`` echoes the index followed by UTF-8 error text.  Control
+verbs (STATS, RESET, ...) have no binary form: they stay JSON frames,
+interleaved freely with binary GETs.
+
+:class:`FrameDecoder` is the incremental parser both the server and the
+load generator use: chunks read off the socket are fed into one reused
+buffer and parsed into as many complete frames as are available, so the
+steady state costs one ``struct.unpack_from`` per binary frame instead of
+two ``readexactly`` round trips through the stream machinery.
 """
 
 from __future__ import annotations
@@ -34,15 +61,26 @@ import asyncio
 import json
 import struct
 
+import numpy as np
+
 __all__ = [
     "MAX_MESSAGE_BYTES",
     "OPS",
+    "BIN_MAGIC",
+    "BIN_GET",
+    "BIN_GET_OK",
+    "BIN_GET_ERR",
+    "BIN_NO_OID",
     "ProtocolError",
+    "FrameDecoder",
     "encode_message",
     "decode_message",
     "read_message",
     "write_message",
     "error_response",
+    "pack_get_request",
+    "pack_get_response",
+    "pack_get_error",
 ]
 
 _HEADER = struct.Struct(">I")
@@ -53,9 +91,70 @@ MAX_MESSAGE_BYTES = 4 * 2**20
 
 OPS = ("GET", "STATS", "RELOAD", "RESET", "TRACE", "SPANS", "PING")
 
+#: First byte of every binary frame.  JSON frames always start 0x00 (their
+#: big-endian length is capped well below 2^24), so one byte discriminates.
+BIN_MAGIC = 0xB2
+
+BIN_GET = 0x01      # client → server: index u32, oid u32, size u32
+BIN_GET_OK = 0x02   # server → client: index u32, flags u8
+BIN_GET_ERR = 0x03  # server → client: index u32, UTF-8 error text
+
+#: ``oid`` sentinel in a BIN_GET meaning "skip catalog validation" (the
+#: binary analogue of omitting ``"oid"`` from a JSON GET).
+BIN_NO_OID = 0xFFFFFFFF
+
+# Response flag bits (BIN_GET_OK).
+FLAG_HIT = 0x01
+FLAG_ADMITTED = 0x02
+FLAG_DENIED = 0x04
+
+_BIN_HEADER = struct.Struct(">BBH")
+_BIN_GET_BODY = struct.Struct(">III")
+_BIN_GET_OK_BODY = struct.Struct(">IB")
+_BIN_INDEX = struct.Struct(">I")
+# Whole-frame structs so the hot path packs header+payload in one call.
+_FRAME_GET = struct.Struct(">BBHIII")
+_FRAME_GET_OK = struct.Struct(">BBHIB")
+
+# Whole-frame numpy records mirroring the structs above: the decoder
+# validates a homogeneous run of fixed-size frames with three vectorised
+# column compares, then tuples it in one C pass via ``iter_unpack``.
+_RUN_GET_DTYPE = np.dtype(
+    [
+        ("magic", "u1"),
+        ("op", "u1"),
+        ("length", ">u2"),
+        ("index", ">u4"),
+        ("oid", ">u4"),
+        ("size", ">u4"),
+    ]
+)
+_RUN_GET_OK_DTYPE = np.dtype(
+    [
+        ("magic", "u1"),
+        ("op", "u1"),
+        ("length", ">u2"),
+        ("index", ">u4"),
+        ("flags", "u1"),
+    ]
+)
+#: Engage the vectorised run parser only when a read carried at least this
+#: many complete frames of one kind — below it the per-frame loop wins.
+_RUN_MIN_FRAMES = 16
+
 
 class ProtocolError(ValueError):
-    """A frame that violates the wire format (length, JSON, or shape)."""
+    """A frame that violates the wire format (length, JSON, or shape).
+
+    ``frames`` carries any frames that were completely parsed from the
+    same buffer *before* the violation, so a server can still serve them
+    before closing the connection — matching the frame-at-a-time JSON
+    reader, where valid frames ahead of the garbage were always handled.
+    """
+
+    def __init__(self, message: str, *, frames=()):
+        super().__init__(message)
+        self.frames = list(frames)
 
 
 def encode_message(message: dict) -> bytes:
@@ -109,3 +208,227 @@ async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
 
 def error_response(op: str, error: str, **extra) -> dict:
     return {"ok": False, "op": op, "error": error, **extra}
+
+
+# --------------------------------------------------------------------------
+# Binary protocol (v2)
+# --------------------------------------------------------------------------
+
+
+def pack_get_request(index: int, oid: int | None, size: int) -> bytes:
+    """One framed BIN_GET; ``oid=None`` skips server-side oid validation."""
+    return _FRAME_GET.pack(
+        BIN_MAGIC,
+        BIN_GET,
+        _BIN_GET_BODY.size,
+        index,
+        BIN_NO_OID if oid is None else oid,
+        size,
+    )
+
+
+def pack_get_response(index: int, hit: bool, admitted: bool, denied: bool) -> bytes:
+    """One framed BIN_GET_OK echoing ``index`` (pipelining correlation)."""
+    flags = 0
+    if hit:
+        flags |= FLAG_HIT
+    if admitted:
+        flags |= FLAG_ADMITTED
+    if denied:
+        flags |= FLAG_DENIED
+    return _FRAME_GET_OK.pack(BIN_MAGIC, BIN_GET_OK, _BIN_GET_OK_BODY.size, index, flags)
+
+
+def pack_get_error(index: int, error: str) -> bytes:
+    """One framed BIN_GET_ERR carrying UTF-8 error text after the index."""
+    text = error.encode("utf-8")[: 0xFFFF - _BIN_INDEX.size]
+    length = _BIN_INDEX.size + len(text)
+    return (
+        _BIN_HEADER.pack(BIN_MAGIC, BIN_GET_ERR, length)
+        + _BIN_INDEX.pack(index)
+        + text
+    )
+
+
+def _parse_get_run(buf, pos: int, avail: int, frames: list) -> int:
+    """Bulk-parse a homogeneous run of BIN_GET frames; returns bytes consumed.
+
+    Treats ``buf[pos:]`` as consecutive 16-byte frames, keeps the longest
+    prefix whose magic/op/length columns all match a well-formed BIN_GET
+    (vectorised compares), and tuples that prefix in one ``iter_unpack``
+    pass.  Returns 0 when the run is too short to beat the per-frame loop;
+    the first non-matching frame is left for the caller, which re-parses
+    it down the exact per-frame error path.
+    """
+    size = _FRAME_GET.size
+    n = avail // size
+    raw = bytes(memoryview(buf)[pos : pos + n * size])
+    run = np.frombuffer(raw, dtype=_RUN_GET_DTYPE)
+    ok = (
+        (run["magic"] == BIN_MAGIC)
+        & (run["op"] == BIN_GET)
+        & (run["length"] == _BIN_GET_BODY.size)
+    )
+    k = n if ok.all() else int(ok.argmin())
+    if k < _RUN_MIN_FRAMES:
+        return 0
+    nbytes = k * size
+    frames += [
+        (BIN_GET, index, None if oid == BIN_NO_OID else oid, size_)
+        for _, _, _, index, oid, size_ in _FRAME_GET.iter_unpack(
+            raw if k == n else raw[:nbytes]
+        )
+    ]
+    return nbytes
+
+
+def _parse_get_ok_run(buf, pos: int, avail: int, frames: list) -> int:
+    """BIN_GET_OK twin of :func:`_parse_get_run` (9-byte response frames)."""
+    size = _FRAME_GET_OK.size
+    n = avail // size
+    raw = bytes(memoryview(buf)[pos : pos + n * size])
+    run = np.frombuffer(raw, dtype=_RUN_GET_OK_DTYPE)
+    ok = (
+        (run["magic"] == BIN_MAGIC)
+        & (run["op"] == BIN_GET_OK)
+        & (run["length"] == _BIN_GET_OK_BODY.size)
+    )
+    k = n if ok.all() else int(ok.argmin())
+    if k < _RUN_MIN_FRAMES:
+        return 0
+    nbytes = k * size
+    frames += [
+        (BIN_GET_OK, index, flags)
+        for _, _, _, index, flags in _FRAME_GET_OK.iter_unpack(
+            raw if k == n else raw[:nbytes]
+        )
+    ]
+    return nbytes
+
+
+class FrameDecoder:
+    """Incremental parser for a mixed JSON/binary frame stream.
+
+    ``feed(data)`` appends one socket chunk to the reused internal buffer
+    and returns every complete frame it now holds, in order:
+
+    * a JSON frame decodes to its ``dict``;
+    * a binary frame decodes to a tuple whose first element is the op —
+      ``(BIN_GET, index, oid, size)`` (``oid`` is ``None`` when the client
+      sent ``BIN_NO_OID``), ``(BIN_GET_OK, index, flags)``, or
+      ``(BIN_GET_ERR, index, message)``.
+
+    A malformed stream raises :class:`ProtocolError` with any frames parsed
+    ahead of the violation attached as ``exc.frames``; the decoder is dead
+    afterwards (the connection must be closed — framing is unrecoverable).
+    ``pending`` is the buffered byte count: nonzero at EOF means the peer
+    died mid-frame.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data) -> list:
+        buf = self._buf
+        buf += data
+        frames: list = []
+        append = frames.append
+        unpack_get = _BIN_GET_BODY.unpack_from
+        unpack_ok = _BIN_GET_OK_BODY.unpack_from
+        pos = 0
+        end = len(buf)
+        while True:
+            avail = end - pos
+            if avail < 1:
+                break
+            first = buf[pos]
+            if first == BIN_MAGIC:
+                if avail < _BIN_HEADER.size:
+                    break
+                op = buf[pos + 1]
+                # A backlogged read carries thousands of identical
+                # fixed-size frames; hand homogeneous runs to the
+                # vectorised parser (numpy validation + one iter_unpack
+                # pass) and fall through for the remainder.
+                if op == BIN_GET:
+                    if avail >= _RUN_MIN_FRAMES * _FRAME_GET.size:
+                        parsed = _parse_get_run(buf, pos, avail, frames)
+                        if parsed:
+                            pos += parsed
+                            continue
+                elif op == BIN_GET_OK:
+                    if avail >= _RUN_MIN_FRAMES * _FRAME_GET_OK.size:
+                        parsed = _parse_get_ok_run(buf, pos, avail, frames)
+                        if parsed:
+                            pos += parsed
+                            continue
+                # Header fields read by byte arithmetic — one Struct call
+                # per frame (the body) instead of two.
+                length = (buf[pos + 2] << 8) | buf[pos + 3]
+                if avail < _BIN_HEADER.size + length:
+                    break
+                start = pos + _BIN_HEADER.size
+                pos = start + length
+                if op == BIN_GET:
+                    if length != _BIN_GET_BODY.size:
+                        raise ProtocolError(
+                            f"BIN_GET payload must be {_BIN_GET_BODY.size} "
+                            f"bytes, got {length}",
+                            frames=frames,
+                        )
+                    index, oid, size = unpack_get(buf, start)
+                    append(
+                        (BIN_GET, index, None if oid == BIN_NO_OID else oid, size)
+                    )
+                elif op == BIN_GET_OK:
+                    if length != _BIN_GET_OK_BODY.size:
+                        raise ProtocolError(
+                            f"BIN_GET_OK payload must be {_BIN_GET_OK_BODY.size} "
+                            f"bytes, got {length}",
+                            frames=frames,
+                        )
+                    index, flags = unpack_ok(buf, start)
+                    append((BIN_GET_OK, index, flags))
+                elif op == BIN_GET_ERR:
+                    if length < _BIN_INDEX.size:
+                        raise ProtocolError(
+                            "BIN_GET_ERR payload too short", frames=frames
+                        )
+                    (index,) = _BIN_INDEX.unpack_from(buf, start)
+                    message = bytes(
+                        buf[start + _BIN_INDEX.size : pos]
+                    ).decode("utf-8", "replace")
+                    frames.append((BIN_GET_ERR, index, message))
+                else:
+                    raise ProtocolError(
+                        f"unknown binary op 0x{op:02x}", frames=frames
+                    )
+            elif first == 0:
+                if avail < _HEADER.size:
+                    break
+                length = (buf[pos + 1] << 16) | (buf[pos + 2] << 8) | buf[pos + 3]
+                if length > MAX_MESSAGE_BYTES:
+                    raise ProtocolError(
+                        f"frame of {length} bytes exceeds limit", frames=frames
+                    )
+                if avail < _HEADER.size + length:
+                    break
+                start = pos + _HEADER.size
+                pos = start + length
+                try:
+                    frames.append(decode_message(bytes(buf[start:pos])))
+                except ProtocolError as exc:
+                    raise ProtocolError(str(exc), frames=frames) from exc
+            else:
+                raise ProtocolError(
+                    f"bad frame discriminator byte 0x{first:02x}", frames=frames
+                )
+        if pos:
+            del buf[:pos]
+        return frames

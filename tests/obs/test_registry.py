@@ -185,6 +185,35 @@ class TestReservoir:
         assert r.total == pytest.approx(10_000.0)
         assert r.retained == 10
 
+    def test_add_repeated_is_state_identical_to_sequential_adds(self):
+        """Same totals AND the same RNG draw sequence as n ``add`` calls.
+
+        The serving hot path amortises per-batch latency observations
+        through ``add_repeated``; bit-identical state means switching a
+        code path to it can never change a percentile by construction.
+        """
+        a = Reservoir(capacity=32, seed=17)
+        b = Reservoir(capacity=32, seed=17)
+        script = [(1.5, 7), (2.0, 40), (0.25, 1), (9.0, 100), (3.5, 13)]
+        for value, n in script:
+            a.add_repeated(value, n)
+            for _ in range(n):
+                b.add(value)
+        assert a.count == b.count
+        assert a.total == b.total
+        assert a.min_value == b.min_value and a.max_value == b.max_value
+        assert list(a) == list(b)
+        # ...and the RNG streams stayed aligned: the next draws agree too.
+        a.add(123.0)
+        b.add(123.0)
+        assert list(a) == list(b)
+
+    def test_add_repeated_nonpositive_count_is_noop(self):
+        r = Reservoir(capacity=4, seed=1)
+        r.add_repeated(5.0, 0)
+        r.add_repeated(5.0, -3)
+        assert r.count == 0 and r.retained == 0
+
     def test_clear_is_deterministic(self):
         a = Reservoir(capacity=10, seed=9)
         for i in range(1000):

@@ -29,6 +29,10 @@ COMPONENTS = {
     "simulate_segments",
     "spans_enabled_reference",
     "spans_disabled_noop",
+    "gbdt_single_reference",
+    "gbdt_single_compiled",
+    "gbdt_batch_reference",
+    "gbdt_batch_compiled",
 }
 
 
