@@ -20,6 +20,13 @@ one.  Three report kinds are understood, dispatched on the reports'
   ``"kind": "server_throughput"``): achieved req/s per serving mode
   (protocol × batching × loop).  A mode more than ``--threshold``
   *slower* than its baseline fails; faster is always fine.
+* **learned-eviction reports** (``BENCH_learned_eviction.json``,
+  ``"kind": "learned_eviction"``): Belady-gap closure per capacity
+  point.  Replays are seeded and deterministic, so any drop is a real
+  behaviour change; a point whose closure fell more than ``--threshold``
+  of the baseline closure plus a small absolute slack fails.  Decision
+  cost is reported but never gated here — wall-clock on shared runners
+  is noise; the bench's own hardware-normalised budget gates it.
 
 Robustness rules, in order:
 
@@ -45,9 +52,11 @@ import sys
 from pathlib import Path
 
 __all__ = [
+    "compare_eviction_reports",
     "compare_reports",
     "compare_scenario_reports",
     "compare_server_reports",
+    "format_eviction_markdown",
     "format_markdown",
     "format_scenario_markdown",
     "format_server_markdown",
@@ -58,10 +67,15 @@ DEFAULT_THRESHOLD = 0.20
 
 SCENARIO_KIND = "cluster_scenario"
 SERVER_KIND = "server_throughput"
+EVICTION_KIND = "learned_eviction"
 #: Absolute slack added on top of the relative threshold when gating
 #: oracle gaps: a gap moving 0.001 → 0.002 is +100 % relative but pure
 #: noise — only growth beyond ``base*(1+threshold) + slack`` fails.
 SCENARIO_SLACK = 0.005
+#: Absolute closure slack for the learned-eviction gate: quick-mode
+#: closures sit near zero (the tiny trace under-trains the head), where
+#: a purely relative threshold would flag meaningless wiggles.
+EVICTION_SLACK = 0.02
 
 
 def compare_reports(
@@ -328,6 +342,106 @@ def format_server_markdown(result: dict) -> str:
     return "\n".join(lines)
 
 
+def compare_eviction_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    slack: float = EVICTION_SLACK,
+) -> dict:
+    """Diff per-capacity-point Belady-gap closure between two reports.
+
+    Points are matched by capacity fraction (the paper's grid is stable).
+    A point regresses when its closure *fell* below
+    ``baseline - max(threshold * |baseline|, slack)`` — relative for the
+    meaningful full-mode closures, absolute slack for the near-zero
+    quick-mode ones.  Decision cost rides along in the rows for the step
+    summary but never regresses the gate (wall-clock on shared runners).
+    """
+    b_points = {round(p["fraction"], 6): p for p in baseline.get("points", [])}
+    c_points = {round(p["fraction"], 6): p for p in current.get("points", [])}
+    shared = sorted(set(b_points) & set(c_points))
+    rows = []
+    regressions = []
+    for frac in shared:
+        b, c = b_points[frac], c_points[frac]
+        bv, cv = b["gap_closure"], c["gap_closure"]
+        floor = bv - max(threshold * abs(bv), slack)
+        regressed = cv < floor
+        rows.append(
+            {
+                "fraction": frac,
+                "baseline_closure": bv,
+                "current_closure": cv,
+                "baseline_ns": b.get("mean_decision_ns"),
+                "current_ns": c.get("mean_decision_ns"),
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            regressions.append(f"frac={frac:g}")
+    return {
+        "rows": rows,
+        "added": sorted(set(c_points) - set(b_points)),
+        "removed": sorted(set(b_points) - set(c_points)),
+        "regressions": regressions,
+        "threshold": threshold,
+        "slack": slack,
+        "mean_closure": {
+            "baseline": baseline.get("mean_gap_closure"),
+            "current": current.get("mean_gap_closure"),
+        },
+        "modes": {
+            "baseline": "quick" if baseline.get("quick") else "full",
+            "current": "quick" if current.get("quick") else "full",
+        },
+    }
+
+
+def format_eviction_markdown(result: dict) -> str:
+    """GitHub-flavoured markdown for the Belady-gap-closure trend."""
+    modes = result["modes"]
+    lines = [
+        "## Learned-eviction closure trend",
+        "",
+        f"Threshold: closure below baseline − "
+        f"max(**{100 * result['threshold']:.0f}%**, {result['slack']:.2f} "
+        f"absolute) fails (baseline: {modes['baseline']} mode, current: "
+        f"{modes['current']} mode).",
+        "",
+        "| capacity frac | baseline closure | current closure | "
+        "decision ns | status |",
+        "|---:|---:|---:|---:|---|",
+    ]
+    for row in result["rows"]:
+        status = "REGRESSION" if row["regressed"] else "ok"
+        ns = row["current_ns"]
+        ns_cell = f"{ns:,.0f}" if ns is not None else "—"
+        lines.append(
+            f"| {row['fraction']:g} | {row['baseline_closure']:+.3f} "
+            f"| {row['current_closure']:+.3f} | {ns_cell} | {status} |"
+        )
+    if not result["rows"]:
+        lines.append("| _no shared capacity points_ | | | | |")
+    mc = result["mean_closure"]
+    if mc["baseline"] is not None and mc["current"] is not None:
+        lines += ["", f"Mean closure: {mc['baseline']:+.3f} → "
+                  f"{mc['current']:+.3f}"]
+    if result["added"]:
+        lines += ["", "New capacity points (no baseline): "
+                  + ", ".join(f"{f:g}" for f in result["added"])]
+    if result["removed"]:
+        lines += ["", "Dropped capacity points: "
+                  + ", ".join(f"{f:g}" for f in result["removed"])]
+    if result["regressions"]:
+        lines += ["", "**FAILED** — Belady-gap closure regressed: "
+                  + ", ".join(f"`{r}`" for r in result["regressions"])]
+    else:
+        lines += ["", "No capacity point's closure regressed beyond the "
+                  "threshold."]
+    return "\n".join(lines)
+
+
 def _load(path: str) -> dict | None:
     p = Path(path)
     if not p.is_file():
@@ -391,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
             baseline, current, threshold=args.threshold
         )
         table = format_server_markdown(result)
+    elif cur_kind == EVICTION_KIND:
+        result = compare_eviction_reports(
+            baseline, current, threshold=args.threshold
+        )
+        table = format_eviction_markdown(result)
     else:
         result = compare_reports(baseline, current, threshold=args.threshold)
         table = format_markdown(result)

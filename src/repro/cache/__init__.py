@@ -26,6 +26,7 @@ from repro.cache.sieve import SieveCache
 from repro.cache.lirs import LIRSCache
 from repro.cache.belady import BeladyCache, compute_next_use
 from repro.cache.hierarchy import HierarchicalCache
+from repro.cache.learned import LearnedCache, OnlineReuseTrainer, eviction_metadata
 from repro.cache.segments import SegmentPlan
 from repro.cache.simulator import POLICY_REGISTRY, SimulationResult, make_policy, simulate
 
@@ -45,7 +46,10 @@ __all__ = [
     "LIRSCache",
     "BeladyCache",
     "HierarchicalCache",
+    "LearnedCache",
+    "OnlineReuseTrainer",
     "compute_next_use",
+    "eviction_metadata",
     "POLICY_REGISTRY",
     "SegmentPlan",
     "SimulationResult",

@@ -29,6 +29,7 @@ from repro.cache.base import AdmissionPolicy, CacheObserver, CachePolicy, CacheS
 from repro.cache.belady import BeladyCache, compute_next_use
 from repro.cache.fifo import FIFOCache
 from repro.cache.gdsf import GDSFCache
+from repro.cache.learned import LearnedCache, eviction_metadata
 from repro.cache.lfu import LFUCache
 from repro.cache.lirs import LIRSCache
 from repro.cache.lru import LRUCache
@@ -69,6 +70,7 @@ POLICY_REGISTRY: dict[str, Callable[[int], CachePolicy]] = {
     "2q": TwoQCache,
     "gdsf": GDSFCache,
     "sieve": SieveCache,
+    "learned": LearnedCache,
 }
 
 
@@ -79,6 +81,11 @@ def make_policy(name: str, capacity_bytes: int, trace: Trace | None = None) -> C
         if trace is None:
             raise ValueError("belady requires the trace to precompute next uses")
         return BeladyCache(capacity_bytes, compute_next_use(trace.object_ids))
+    if key == "learned" and trace is not None:
+        # The learned head is better with the catalog's metadata columns;
+        # capacity-only construction (the registry contract) still works
+        # with pure stream features.
+        return LearnedCache(capacity_bytes, metadata=eviction_metadata(trace))
     try:
         return POLICY_REGISTRY[key](capacity_bytes)
     except KeyError:

@@ -146,9 +146,17 @@ class CacheNode:
             if self._m_writes is not None:
                 self._m_writes.inc()
             if self.ledger is not None:
-                self.ledger.record_write(
-                    self.write_cause, size, model=self.model_label
-                )
+                cause = self.write_cause
+                if cause == "admission_accept" and getattr(
+                    self.policy, "last_insert_was_churn", False
+                ):
+                    # A learned eviction policy re-admitted its own victim:
+                    # the flash write pays for an eviction misprediction,
+                    # not for new bytes.  Router-set causes (flood/rewarm)
+                    # keep precedence — they explain *why the request came*,
+                    # churn only refines the default.
+                    cause = "eviction_churn"
+                self.ledger.record_write(cause, size, model=self.model_label)
         if self._m_misses is not None:
             self._m_misses.inc()
         return False

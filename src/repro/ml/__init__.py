@@ -28,7 +28,7 @@ from repro.ml.metrics import (
     roc_curve,
     classification_report,
 )
-from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.adaboost import AdaBoostClassifier
 from repro.ml.naive_bayes import GaussianNB, CategoricalNB
@@ -74,6 +74,7 @@ __all__ = [
     "roc_curve",
     "classification_report",
     "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
     "RandomForestClassifier",
     "AdaBoostClassifier",
     "GaussianNB",

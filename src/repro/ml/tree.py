@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, check_X_y, check_array, check_sample_weight
 
-__all__ = ["DecisionTreeClassifier"]
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
 
 _LEAF = -1
 
@@ -543,3 +543,344 @@ class DecisionTreeClassifier(BaseEstimator):
 
         walk(0, 0)
         return "\n".join(lines)
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """CART regression tree with the same best-first split budget.
+
+    The regression twin of :class:`DecisionTreeClassifier`, added for the
+    learned-eviction head (:mod:`repro.cache.learned`): it is trained on
+    log-forward-reuse-distance targets and compiled through the same
+    :mod:`repro.ml.fastpath` code generator, so a per-eviction prediction
+    costs one nested-``if`` walk over float literals — the same ns-range
+    budget as the admission verdict.
+
+    Splits maximise weighted SSE reduction (variance criterion); growth is
+    best-first under ``max_splits`` exactly like the classifier, so a small
+    budget yields the most valuable splits rather than a breadth-first
+    prefix.  Leaf predictions are weighted means.
+
+    ``bins`` switches split *search* from exact (argsort every feature at
+    every node — the cost that dominates an online refit) to histogram
+    candidates: each feature is quantised once per fit onto its
+    ``bins``-quantile edges, and every node scores splits with three
+    ``bincount`` passes instead of a sort.  Thresholds remain real feature
+    values (the bin edges), the tree structure and prediction path are
+    unchanged, and routing is still ``x <= threshold`` on raw inputs —
+    only which thresholds are *considered* is coarsened.  This is the
+    LightGBM-style trade: for the online eviction head it cuts refit cost
+    by roughly an order of magnitude at no measured quality loss.  The
+    default (``None``) keeps the exact search.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_splits: int | None = 30,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        bins: int | None = None,
+    ):
+        if max_splits is not None and max_splits < 1:
+            raise ValueError("max_splits must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be >= 0")
+        if bins is not None and bins < 2:
+            raise ValueError("bins must be >= 2 or None")
+        self.max_splits = max_splits
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.bins = bins
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        X = check_array(X)
+        y = np.ascontiguousarray(y, dtype=np.float64)
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ValueError("y must be 1-D and match X's sample count")
+        if not np.isfinite(y).all():
+            raise ValueError("y contains NaN or Inf")
+        w = check_sample_weight(sample_weight, X.shape[0])
+        self.n_features_in_ = X.shape[1]
+        self._unit_weights = sample_weight is None
+        codes, edges = (
+            self._quantile_bins(X) if self.bins is not None else (None, None)
+        )
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        depth_of: list[int] = []
+
+        def new_node(indices: np.ndarray, depth: int) -> int:
+            node_id = len(feature)
+            feature.append(_LEAF)
+            threshold.append(0.0)
+            left.append(_LEAF)
+            right.append(_LEAF)
+            wi = w[indices]
+            value.append(float(np.dot(wi, y[indices]) / wi.sum()))
+            depth_of.append(depth)
+            return node_id
+
+        heap: list[_Candidate] = []
+
+        def consider(node_id: int, indices: np.ndarray, depth: int) -> None:
+            if indices.shape[0] < self.min_samples_split:
+                return
+            if self.max_depth is not None and depth >= self.max_depth:
+                return
+            if codes is None:
+                cand = self._best_split(X, y, w, indices)
+            else:
+                cand = self._best_split_binned(codes, edges, y, w, indices)
+            if cand is None:
+                return
+            decrease, feat, thr = cand
+            if decrease <= self.min_impurity_decrease:
+                return
+            heapq.heappush(
+                heap, _Candidate(decrease, node_id, feat, thr, indices, depth)
+            )
+
+        root_idx = np.arange(X.shape[0])
+        new_node(root_idx, 0)
+        consider(0, root_idx, 0)
+
+        splits_done = 0
+        budget = self.max_splits if self.max_splits is not None else np.inf
+        while heap and splits_done < budget:
+            cand = heapq.heappop(heap)
+            go_left = X[cand.indices, cand.feature] <= cand.threshold
+            li, ri = cand.indices[go_left], cand.indices[~go_left]
+            feature[cand.node_id] = cand.feature
+            threshold[cand.node_id] = cand.threshold
+            lid = new_node(li, cand.depth + 1)
+            rid = new_node(ri, cand.depth + 1)
+            left[cand.node_id] = lid
+            right[cand.node_id] = rid
+            splits_done += 1
+            consider(lid, li, cand.depth + 1)
+            consider(rid, ri, cand.depth + 1)
+
+        self.feature_ = np.asarray(feature, dtype=np.int64)
+        self.threshold_ = np.asarray(threshold, dtype=np.float64)
+        self.children_left_ = np.asarray(left, dtype=np.int64)
+        self.children_right_ = np.asarray(right, dtype=np.int64)
+        self.value_ = np.asarray(value, dtype=np.float64)
+        self.node_depth_ = np.asarray(depth_of, dtype=np.int64)
+        self.node_count_ = len(feature)
+        self.n_splits_ = splits_done
+        self._walk_plan = None
+        return self
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, indices: np.ndarray
+    ) -> tuple[float, int, float] | None:
+        """Best (SSE decrease, feature, threshold), or None when no gain.
+
+        Uses the cancellation-free identity
+        ``SSE_parent − SSE_children = (Σwy_l)²/w_l + (Σwy_r)²/w_r − (Σwy)²/w``
+        so one cumsum pass per feature scores every threshold at once.
+        """
+        y_node = y[indices]
+        w_node = w[indices]
+        total_w = float(w_node.sum())
+        total_wy = float(np.dot(w_node, y_node))
+        base = total_wy * total_wy / total_w
+        n = indices.shape[0]
+        min_leaf = self.min_samples_leaf
+
+        best: tuple[float, int, float] | None = None
+        for j in range(X.shape[1]):
+            v = X[indices, j]
+            order = np.argsort(v, kind="stable")
+            vs = v[order]
+            cut = np.nonzero(vs[:-1] != vs[1:])[0]
+            if min_leaf > 1:
+                cut = cut[(cut + 1 >= min_leaf) & (n - cut - 1 >= min_leaf)]
+            if cut.shape[0] == 0:
+                continue
+            cw = np.cumsum(w_node[order])[cut]
+            cwy = np.cumsum((w_node * y_node)[order])[cut]
+            rw = total_w - cw
+            ok = (cw > 0) & (rw > 0)
+            if not ok.any():
+                continue
+            gain = cwy[ok] ** 2 / cw[ok] + (total_wy - cwy[ok]) ** 2 / rw[ok] - base
+            pos = int(np.argmax(gain))
+            g = float(gain[pos])
+            if g > 0 and (best is None or g > best[0]):
+                i = cut[ok][pos]
+                thr = 0.5 * (vs[i] + vs[i + 1])
+                if thr >= vs[i + 1]:
+                    thr = vs[i]
+                best = (g, int(j), float(thr))
+        return best
+
+    def _quantile_bins(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Quantise every feature onto its ``bins``-quantile edge grid.
+
+        Returns ``(codes, edges)`` where ``edges[j]`` is the ascending
+        array of candidate thresholds for feature ``j`` and
+        ``codes[i, j] <= b`` iff ``X[i, j] <= edges[j][b]`` — the
+        equivalence ``_best_split_binned`` relies on to emit thresholds
+        that route raw inputs exactly like the histogram did.
+        """
+        qs = np.linspace(0.0, 1.0, self.bins + 1)[1:-1]
+        codes = np.empty(X.shape, dtype=np.int64)
+        edges: list[np.ndarray] = []
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            # Unique keeps codes dense; dropping the max removes the
+            # everything-goes-left pseudo-split.
+            e = np.unique(np.quantile(col, qs))
+            if e.shape[0] and e[-1] >= col.max():
+                e = e[:-1]
+            edges.append(e)
+            codes[:, j] = np.searchsorted(e, col, side="left")
+        return codes, edges
+
+    def _best_split_binned(
+        self,
+        codes: np.ndarray,
+        edges: list[np.ndarray],
+        y: np.ndarray,
+        w: np.ndarray,
+        indices: np.ndarray,
+    ) -> tuple[float, int, float] | None:
+        """Histogram twin of :meth:`_best_split`: bincount, not argsort."""
+        n = indices.shape[0]
+        y_node = y[indices]
+        # The online trainer never weights samples; with unit weights the
+        # weight histogram *is* the count histogram, saving a bincount.
+        unweighted = getattr(self, "_unit_weights", False)
+        w_node = None if unweighted else w[indices]
+        wy_node = y_node if unweighted else w_node * y_node
+        total_w = float(n) if unweighted else float(w_node.sum())
+        total_wy = float(wy_node.sum())
+        base = total_wy * total_wy / total_w
+        min_leaf = self.min_samples_leaf
+        sub = codes[indices]
+
+        best: tuple[float, int, float] | None = None
+        for j in range(sub.shape[1]):
+            e = edges[j]
+            nb = e.shape[0] + 1
+            if nb < 2:
+                continue
+            c = sub[:, j]
+            # Left-of-edge-b aggregates via one cumsum over the histogram.
+            cn = np.cumsum(np.bincount(c, minlength=nb))[:-1]
+            cwy = np.cumsum(np.bincount(c, weights=wy_node, minlength=nb))[:-1]
+            cw = (
+                cn.astype(np.float64)
+                if unweighted
+                else np.cumsum(np.bincount(c, weights=w_node, minlength=nb))[:-1]
+            )
+            ok = (cn >= min_leaf) & (n - cn >= min_leaf) & (cw > 0)
+            rw = total_w - cw
+            ok &= rw > 0
+            if not ok.any():
+                continue
+            gain = cwy[ok] ** 2 / cw[ok] + (total_wy - cwy[ok]) ** 2 / rw[ok] - base
+            pos = int(np.argmax(gain))
+            g = float(gain[pos])
+            if g > 0 and (best is None or g > best[0]):
+                best = (g, int(j), float(e[np.nonzero(ok)[0][pos]]))
+        return best
+
+    # -------------------------------------------------------------- predict
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "node_count_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected {self.n_features_in_} features, got {X.shape[1]}"
+            )
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            feat = self.feature_[node]
+            active = feat != _LEAF
+            if not active.any():
+                return self.value_[node]
+            rows = np.nonzero(active)[0]
+            sub = node[rows]
+            go_left = X[rows, feat[rows]] <= self.threshold_[sub]
+            node[rows] = np.where(
+                go_left, self.children_left_[sub], self.children_right_[sub]
+            )
+
+    def _single_plan(self) -> tuple:
+        plan = getattr(self, "_walk_plan", None)
+        if plan is None:
+            plan = (
+                self.feature_.tolist(),
+                self.threshold_.tolist(),
+                self.children_left_.tolist(),
+                self.children_right_.tolist(),
+                self.value_.tolist(),
+            )
+            self._walk_plan = plan
+        return plan
+
+    def predict_one(self, x) -> float:
+        """Predicted target for a single row — iterative walk, zero alloc."""
+        self._check_fitted()
+        feature, threshold, left, right, values = self._single_plan()
+        node = 0
+        f = feature[0]
+        while f >= 0:
+            node = left[node] if x[f] <= threshold[node] else right[node]
+            f = feature[node]
+        return values[node]
+
+    def compile_predictor(self):
+        """Code-generate this fitted tree (see the classifier's twin).
+
+        Leaf *values* take the place of leaf labels: the generated
+        nested-``if`` returns float literals whose ``repr`` round-trips
+        exactly, so compiled predictions are bit-identical to
+        :meth:`predict`.
+        """
+        from repro.ml.fastpath import compile_tree_arrays
+
+        self._check_fitted()
+        return compile_tree_arrays(
+            self.feature_,
+            self.threshold_,
+            self.children_left_,
+            self.children_right_,
+            self.value_,
+            out_dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------ inspection
+
+    def get_depth(self) -> int:
+        self._check_fitted()
+        return int(self.node_depth_.max())
+
+    def get_n_leaves(self) -> int:
+        self._check_fitted()
+        return int(np.sum(self.feature_ == _LEAF))

@@ -20,6 +20,11 @@ Causes (:data:`CAUSES`):
     object once, and the restart is paying the flash cost again.
 ``flood``
     A write caused by a request injected by a hot-key flood event.
+``eviction_churn``
+    A re-admission of an object a learned eviction policy previously
+    evicted (:attr:`repro.cache.learned.LearnedCache.last_insert_was_churn`):
+    flash spent paying for an eviction misprediction rather than for new
+    bytes.
 
 Every write also carries a **model label** — which admission policy or
 classifier version made the call (``v3`` on a live server, the
@@ -41,7 +46,13 @@ __all__ = ["CAUSES", "WriteLedger"]
 
 #: Write causes, in report order.  Order is part of the byte-identical
 #: report contract — append new causes, never reorder.
-CAUSES = ("admission_accept", "replica_fill", "rewarm_after_restart", "flood")
+CAUSES = (
+    "admission_accept",
+    "replica_fill",
+    "rewarm_after_restart",
+    "flood",
+    "eviction_churn",
+)
 
 _UNLABELLED = "none"
 

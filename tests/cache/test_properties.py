@@ -19,6 +19,7 @@ from repro.cache import (
     BeladyCache,
     FIFOCache,
     GDSFCache,
+    LearnedCache,
     LFUCache,
     LIRSCache,
     LRUCache,
@@ -38,6 +39,9 @@ POLICY_FACTORIES = {
     "2q": TwoQCache,
     "gdsf": GDSFCache,
     "sieve": SieveCache,
+    # Untrained on these short streams (LRU-fallback path), but the
+    # residency/byte-accounting invariants must hold regardless of mode.
+    "learned": LearnedCache,
 }
 
 request_streams = st.lists(

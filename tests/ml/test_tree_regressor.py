@@ -1,0 +1,113 @@
+"""DecisionTreeRegressor: exact vs histogram split search.
+
+The ``bins`` option changes which thresholds are *considered*, never how
+a fitted tree routes or predicts — these tests pin that contract, since
+the online eviction head depends on histogram fits being cheap while
+the compiled fast path stays bit-faithful to the tree arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.fastpath import fast_predictor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _dataset(n=4_000, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = 2.0 * X[:, 0] + np.sin(X[:, 1]) + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestExactMode:
+    def test_fit_reduces_error_over_mean(self):
+        X, y = _dataset()
+        model = DecisionTreeRegressor(max_splits=32).fit(X, y)
+        sse = float(np.sum((model.predict(X) - y) ** 2))
+        sse_mean = float(np.sum((y - y.mean()) ** 2))
+        assert sse < 0.25 * sse_mean
+
+    def test_default_stays_exact(self):
+        assert DecisionTreeRegressor().bins is None
+
+
+class TestBinnedMode:
+    def test_binned_quality_matches_exact_closely(self):
+        X, y = _dataset()
+        exact = DecisionTreeRegressor(max_splits=64).fit(X, y)
+        binned = DecisionTreeRegressor(max_splits=64, bins=64).fit(X, y)
+        mae_exact = float(np.mean(np.abs(exact.predict(X) - y)))
+        mae_binned = float(np.mean(np.abs(binned.predict(X) - y)))
+        # Quantile thresholds coarsen the search, not the model class:
+        # a few percent of extra error is the whole price.
+        assert mae_binned <= 1.25 * mae_exact + 1e-9
+
+    def test_thresholds_stay_inside_feature_range(self):
+        # Binned thresholds come from the quantile edge grid, so every
+        # split must sit strictly inside its feature's observed range —
+        # a threshold at or past the max would send all rows left.
+        X, y = _dataset(n=1_000)
+        model = DecisionTreeRegressor(max_splits=16, bins=16).fit(X, y)
+        split_nodes = [n for n in range(model.node_count_)
+                       if model.feature_[n] >= 0]
+        assert split_nodes
+        for node in split_nodes:
+            col = X[:, int(model.feature_[node])]
+            assert col.min() <= model.threshold_[node] < col.max()
+
+    def test_min_samples_leaf_respected_by_histogram_splits(self):
+        X, y = _dataset(n=2_000, seed=3)
+        model = DecisionTreeRegressor(
+            max_splits=32, min_samples_leaf=25, bins=32
+        ).fit(X, y)
+        # Route every training row and count leaf occupancy.
+        leaf = np.zeros(len(X), dtype=np.int64)
+        for i in range(len(X)):
+            node = 0
+            while model.feature_[node] != -1:
+                f = int(model.feature_[node])
+                node = int(
+                    model.children_left_[node]
+                    if X[i, f] <= model.threshold_[node]
+                    else model.children_right_[node]
+                )
+            leaf[i] = node
+        counts = np.bincount(leaf, minlength=model.node_count_)
+        is_leaf = model.feature_ == -1
+        assert (counts[is_leaf] >= 25).all()
+
+    def test_weighted_binned_fit(self):
+        X, y = _dataset(n=1_000)
+        w = np.random.default_rng(1).uniform(0.5, 2.0, size=len(X))
+        model = DecisionTreeRegressor(max_splits=16, bins=32).fit(
+            X, y, sample_weight=w
+        )
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_constant_feature_never_split(self):
+        X, y = _dataset(n=500)
+        X[:, 3] = 7.0
+        model = DecisionTreeRegressor(max_splits=16, bins=16).fit(X, y)
+        assert 3 not in set(model.feature_[model.feature_ >= 0].tolist())
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError, match="bins"):
+            DecisionTreeRegressor(bins=1)
+
+    @given(bins=st.integers(2, 64), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_fastpath_matches_binned_tree(self, bins, seed):
+        """fastpath parity is bin-agnostic: the compiled walker must
+        reproduce predict() exactly whatever threshold grid fit used."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0] + rng.normal(0, 0.2, size=300)
+        model = DecisionTreeRegressor(max_splits=12, bins=bins).fit(X, y)
+        cp = fast_predictor(model)
+        expected = model.predict(X)
+        assert np.array_equal(np.asarray([cp.predict_one(tuple(r)) for r in X]),
+                              expected)
+        assert np.array_equal(cp.predict(X), expected)

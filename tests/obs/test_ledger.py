@@ -20,6 +20,7 @@ class TestRecording:
             "replica_fill": 3,
             "rewarm_after_restart": 0,
             "flood": 0,
+            "eviction_churn": 0,
         }
         assert led.writes_by_model() == {"v1": 4, "v2": 1}
 
@@ -45,7 +46,7 @@ class TestRecording:
         # Report byte-identity depends on this exact order.
         assert CAUSES == (
             "admission_accept", "replica_fill", "rewarm_after_restart",
-            "flood",
+            "flood", "eviction_churn",
         )
         assert list(WriteLedger().writes_by_cause()) == list(CAUSES)
 
@@ -78,6 +79,7 @@ class TestSnapshotAndDelta:
             "replica_fill": 0,
             "rewarm_after_restart": 2,
             "flood": 0,
+            "eviction_churn": 0,
         }
         assert d["avoided_writes"] == 3
         assert d["avoided_bytes"] == 6

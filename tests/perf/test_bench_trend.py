@@ -222,6 +222,70 @@ class TestCompareServerReports:
         assert "No mode's throughput regressed" in table
 
 
+def eviction_report(closures, *, quick=True, ns=5_000.0):
+    points = [
+        {
+            "fraction": frac,
+            "capacity_bytes": 1_000_000,
+            "gap_closure": closure,
+            "mean_decision_ns": ns,
+        }
+        for frac, closure in closures
+    ]
+    return {
+        "kind": "learned_eviction",
+        "quick": quick,
+        "points": points,
+        "mean_gap_closure": sum(c for _, c in closures) / len(closures),
+    }
+
+
+class TestCompareEvictionReports:
+    def test_detects_closure_regression(self):
+        base = eviction_report([(0.01, 0.30), (0.02, 0.28)], quick=False)
+        cur = eviction_report([(0.01, 0.30), (0.02, 0.15)], quick=False)
+        result = bench_trend.compare_eviction_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == ["frac=0.02"]
+
+    def test_slack_forgives_near_zero_wiggles(self):
+        """Quick-mode closures sit near zero; the absolute slack keeps a
+        0.03 → 0.02 move from tripping a 20%-relative gate."""
+        base = eviction_report([(0.01, 0.03)])
+        cur = eviction_report([(0.01, 0.02)])
+        result = bench_trend.compare_eviction_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == []
+
+    def test_improvement_never_fails(self):
+        base = eviction_report([(0.01, 0.20)], quick=False)
+        cur = eviction_report([(0.01, 0.45)], quick=False)
+        result = bench_trend.compare_eviction_reports(base, cur)
+        assert result["regressions"] == []
+
+    def test_disjoint_points_listed_not_failed(self):
+        base = eviction_report([(0.01, 0.30), (0.02, 0.30)], quick=False)
+        cur = eviction_report([(0.02, 0.30), (0.04, 0.01)], quick=False)
+        result = bench_trend.compare_eviction_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["added"] == [0.04]
+        assert result["removed"] == [0.01]
+
+    def test_decision_cost_is_reported_not_gated(self):
+        base = eviction_report([(0.01, 0.30)], quick=False, ns=1_000.0)
+        cur = eviction_report([(0.01, 0.30)], quick=False, ns=50_000.0)
+        result = bench_trend.compare_eviction_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["rows"][0]["current_ns"] == 50_000.0
+
+    def test_markdown_renders_failure_line(self):
+        base = eviction_report([(0.01, 0.30)], quick=False)
+        cur = eviction_report([(0.01, 0.10)], quick=False)
+        result = bench_trend.compare_eviction_reports(base, cur)
+        text = bench_trend.format_eviction_markdown(result)
+        assert "Learned-eviction closure trend" in text
+        assert "REGRESSION" in text
+        assert "**FAILED**" in text
+
+
 class TestMain:
     def _write(self, tmp_path, name, rep):
         p = tmp_path / name
@@ -312,6 +376,23 @@ class TestMain:
         assert bench_trend.main(
             ["--baseline", server, "--current", scenario]
         ) == 0
+
+    def test_eviction_kind_dispatch(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        base = self._write(
+            tmp_path, "base.json",
+            eviction_report([(0.01, 0.30)], quick=False),
+        )
+        clean = self._write(
+            tmp_path, "clean.json",
+            eviction_report([(0.01, 0.29)], quick=False),
+        )
+        worse = self._write(
+            tmp_path, "worse.json",
+            eviction_report([(0.01, 0.10)], quick=False),
+        )
+        assert bench_trend.main(["--baseline", base, "--current", clean]) == 0
+        assert bench_trend.main(["--baseline", base, "--current", worse]) == 1
 
     def test_server_kind_dispatch(self, tmp_path, monkeypatch):
         monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)

@@ -87,9 +87,27 @@ class TestCauseAttribution:
     def test_reference_scenario_populates_every_cause(self, reference_report):
         by_cause = reference_report.ledger["writes_by_cause"]
         # Flood + restart + replication 2 are all in the reference
-        # timeline, so every cause must attribute at least one write.
+        # timeline, so every cause must attribute at least one write —
+        # except eviction_churn, which needs a learned eviction policy
+        # (the reference runs LRU, so it must stay exactly zero).
         for cause in CAUSES:
-            assert by_cause[cause] > 0, cause
+            if cause == "eviction_churn":
+                assert by_cause[cause] == 0
+            else:
+                assert by_cause[cause] > 0, cause
+
+    def test_learned_policy_attributes_eviction_churn(self, trace):
+        report = run_scenario(
+            ScenarioSpec(nodes=1, requests=REQUESTS, policy="learned"),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        by_cause = led["writes_by_cause"]
+        # Re-admissions of the learned head's own victims are split out of
+        # admission_accept; the ledger stays exact under the re-labelling.
+        assert by_cause["eviction_churn"] > 0
+        assert sum(by_cause.values()) == led["cluster_ssd_writes"]
 
     def test_quiet_scenario_is_pure_admission(self, trace):
         report = run_scenario(
