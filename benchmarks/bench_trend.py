@@ -27,6 +27,13 @@ one.  Three report kinds are understood, dispatched on the reports'
   of the baseline closure plus a small absolute slack fails.  Decision
   cost is reported but never gated here — wall-clock on shared runners
   is noise; the bench's own hardware-normalised budget gates it.
+* **staging reports** (``BENCH_staging.json``, ``"kind": "staging"``):
+  per-capacity-point, per-scheme hit rate and SSD write count for the
+  admission head-to-head (no-admission / classifier / flashiness /
+  composed).  Deterministic like the eviction bench; a scheme whose hit
+  rate fell or whose write count grew beyond the threshold plus a small
+  absolute slack fails.  Write amplification and lifetime ride along in
+  the step summary but never gate (they follow from the write counts).
 
 Robustness rules, in order:
 
@@ -56,10 +63,12 @@ __all__ = [
     "compare_reports",
     "compare_scenario_reports",
     "compare_server_reports",
+    "compare_staging_reports",
     "format_eviction_markdown",
     "format_markdown",
     "format_scenario_markdown",
     "format_server_markdown",
+    "format_staging_markdown",
     "main",
 ]
 
@@ -76,6 +85,14 @@ SCENARIO_SLACK = 0.005
 #: closures sit near zero (the tiny trace under-trains the head), where
 #: a purely relative threshold would flag meaningless wiggles.
 EVICTION_SLACK = 0.02
+STAGING_KIND = "staging"
+#: Absolute hit-rate slack for the staging gate (same rationale as the
+#: eviction slack: small quick-mode rates where relative-only gating
+#: would flag noise-scale wiggles on intentional workload tweaks).
+STAGING_HIT_SLACK = 0.02
+#: Absolute write-count slack: a handful of writes moving on a tiny
+#: quick-mode trace is a workload detail, not an admission regression.
+STAGING_WRITE_SLACK = 16
 
 
 def compare_reports(
@@ -442,6 +459,122 @@ def format_eviction_markdown(result: dict) -> str:
     return "\n".join(lines)
 
 
+def compare_staging_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    hit_slack: float = STAGING_HIT_SLACK,
+    write_slack: int = STAGING_WRITE_SLACK,
+) -> dict:
+    """Diff per-point, per-scheme hit rate and writes between reports.
+
+    Points are matched by capacity fraction, schemes by name; schemes or
+    points present on only one side are listed but never fail the gate.
+    A (point, scheme) pair regresses when its hit rate fell below
+    ``baseline - max(threshold * baseline, hit_slack)`` or its SSD write
+    count grew beyond ``baseline * (1 + threshold) + write_slack`` — the
+    admission schemes exist to *avoid* writes, so write growth is as
+    much a regression as hit-rate loss.
+    """
+    b_points = {round(p["fraction"], 6): p for p in baseline.get("points", [])}
+    c_points = {round(p["fraction"], 6): p for p in current.get("points", [])}
+    shared = sorted(set(b_points) & set(c_points))
+    rows = []
+    regressions = []
+    for frac in shared:
+        b_schemes = b_points[frac].get("schemes", {})
+        c_schemes = c_points[frac].get("schemes", {})
+        for scheme in sorted(set(b_schemes) & set(c_schemes)):
+            b, c = b_schemes[scheme], c_schemes[scheme]
+            hit_floor = b["hit_rate"] - max(
+                threshold * b["hit_rate"], hit_slack
+            )
+            write_ceiling = b["ssd_writes"] * (1 + threshold) + write_slack
+            hit_regressed = c["hit_rate"] < hit_floor
+            write_regressed = c["ssd_writes"] > write_ceiling
+            rows.append(
+                {
+                    "fraction": frac,
+                    "scheme": scheme,
+                    "baseline_hit_rate": b["hit_rate"],
+                    "current_hit_rate": c["hit_rate"],
+                    "baseline_writes": b["ssd_writes"],
+                    "current_writes": c["ssd_writes"],
+                    "baseline_wa": b.get("write_amplification"),
+                    "current_wa": c.get("write_amplification"),
+                    "regressed": hit_regressed or write_regressed,
+                }
+            )
+            if hit_regressed:
+                regressions.append(f"frac={frac:g}:{scheme}:hit_rate")
+            if write_regressed:
+                regressions.append(f"frac={frac:g}:{scheme}:writes")
+    return {
+        "rows": rows,
+        "added": sorted(set(c_points) - set(b_points)),
+        "removed": sorted(set(b_points) - set(c_points)),
+        "regressions": regressions,
+        "threshold": threshold,
+        "hit_slack": hit_slack,
+        "write_slack": write_slack,
+        "violations": {
+            "baseline": baseline.get("violations"),
+            "current": current.get("violations"),
+        },
+        "modes": {
+            "baseline": "quick" if baseline.get("quick") else "full",
+            "current": "quick" if current.get("quick") else "full",
+        },
+    }
+
+
+def format_staging_markdown(result: dict) -> str:
+    """GitHub-flavoured markdown for the staging head-to-head trend."""
+    modes = result["modes"]
+    lines = [
+        "## Staging admission trend",
+        "",
+        f"Threshold: hit rate below baseline − "
+        f"max(**{100 * result['threshold']:.0f}%**, "
+        f"{result['hit_slack']:.2f} absolute) or writes above baseline × "
+        f"**{1 + result['threshold']:.2f}** + {result['write_slack']} fails "
+        f"(baseline: {modes['baseline']} mode, current: {modes['current']} "
+        "mode).",
+        "",
+        "| capacity frac | scheme | baseline hit | current hit | "
+        "baseline writes | current writes | status |",
+        "|---:|---|---:|---:|---:|---:|---|",
+    ]
+    for row in result["rows"]:
+        status = "REGRESSION" if row["regressed"] else "ok"
+        lines.append(
+            f"| {row['fraction']:g} | `{row['scheme']}` "
+            f"| {row['baseline_hit_rate']:.4f} "
+            f"| {row['current_hit_rate']:.4f} "
+            f"| {row['baseline_writes']:,} | {row['current_writes']:,} "
+            f"| {status} |"
+        )
+    if not result["rows"]:
+        lines.append("| _no shared capacity points_ | | | | | | |")
+    if result["added"]:
+        lines += ["", "New capacity points (no baseline): "
+                  + ", ".join(f"{f:g}" for f in result["added"])]
+    if result["removed"]:
+        lines += ["", "Dropped capacity points: "
+                  + ", ".join(f"{f:g}" for f in result["removed"])]
+    if result["violations"].get("current"):
+        lines += ["", "**Note**: the current report carries composition-"
+                  "contract violations (the benchmark itself fails on this)."]
+    if result["regressions"]:
+        lines += ["", "**FAILED** — staging scheme regressed: "
+                  + ", ".join(f"`{r}`" for r in result["regressions"])]
+    else:
+        lines += ["", "No scheme's hit rate or write count regressed beyond "
+                  "the threshold."]
+    return "\n".join(lines)
+
+
 def _load(path: str) -> dict | None:
     p = Path(path)
     if not p.is_file():
@@ -510,6 +643,11 @@ def main(argv: list[str] | None = None) -> int:
             baseline, current, threshold=args.threshold
         )
         table = format_eviction_markdown(result)
+    elif cur_kind == STAGING_KIND:
+        result = compare_staging_reports(
+            baseline, current, threshold=args.threshold
+        )
+        table = format_staging_markdown(result)
     else:
         result = compare_reports(baseline, current, threshold=args.threshold)
         table = format_markdown(result)

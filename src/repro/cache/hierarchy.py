@@ -35,7 +35,10 @@ class HierarchicalCache(CachePolicy):
     Parameters
     ----------
     dram:
-        The L1 policy (typically a small :class:`~repro.cache.lru.LRUCache`).
+        The L1 policy (typically a small :class:`~repro.cache.lru.LRUCache`),
+        or ``None`` for a zero-size DRAM tier — the degenerate configuration
+        in which this wrapper is a transparent shell over ``ssd`` (the
+        differential property the hypothesis suite pins down).
     ssd:
         The L2 policy (any :class:`~repro.cache.base.CachePolicy`).
 
@@ -43,7 +46,7 @@ class HierarchicalCache(CachePolicy):
     the paper's figures are parameterised by.
     """
 
-    def __init__(self, dram: CachePolicy, ssd: CachePolicy):
+    def __init__(self, dram: CachePolicy | None, ssd: CachePolicy):
         super().__init__(ssd.capacity)
         self.dram = dram
         self.ssd = ssd
@@ -52,6 +55,12 @@ class HierarchicalCache(CachePolicy):
 
     def access(self, oid: int, size: int, admit: bool = True) -> AccessResult:
         self._validate_request(size)
+        if self.dram is None:
+            # Zero-size DRAM degenerates to the bare L2 policy.
+            result = self.ssd.access(oid, size, admit=admit)
+            if result.hit:
+                self.l2_hits += 1
+            return result
         # L1 (DRAM) — hits are free and invisible to the SSD counters.
         if oid in self.dram:
             self.dram.access(oid, size)
@@ -84,10 +93,28 @@ class HierarchicalCache(CachePolicy):
     def with_lru_dram(
         cls, ssd: CachePolicy, *, dram_fraction: float = 0.05
     ) -> "HierarchicalCache":
-        """Convenience: DRAM sized as a fraction of the SSD capacity."""
-        if not 0.0 < dram_fraction < 1.0:
-            raise ValueError("dram_fraction must be in (0, 1)")
+        """Convenience: DRAM sized as a fraction of the SSD capacity.
+
+        ``dram_fraction=0.0`` builds the zero-size-DRAM degenerate form
+        (``dram=None``), a transparent shell over ``ssd``.
+        """
+        if not 0.0 <= dram_fraction < 1.0:
+            raise ValueError("dram_fraction must be in [0, 1)")
+        if dram_fraction == 0.0:
+            return cls(None, ssd)
         return cls(LRUCache(max(1, int(ssd.capacity * dram_fraction))), ssd)
+
+    @classmethod
+    def for_capacity(
+        cls, capacity_bytes: int, *, dram_fraction: float = 0.05
+    ) -> "HierarchicalCache":
+        """Registry-shape constructor: LRU tiers from one capacity."""
+        return cls.with_lru_dram(LRUCache(capacity_bytes), dram_fraction=dram_fraction)
+
+    def can_batch_hits(self) -> bool:
+        """Hierarchy hits never insert, so the default exact
+        ``access_batch`` loop is safe whenever the L2 tier batches."""
+        return self.ssd.can_batch_hits()
 
     # ------------------------------------------------------------ interface
 
@@ -98,12 +125,16 @@ class HierarchicalCache(CachePolicy):
 
     @property
     def dram_used_bytes(self) -> int:
-        return self.dram.used_bytes
+        return 0 if self.dram is None else self.dram.used_bytes
 
     def __contains__(self, oid: int) -> bool:
-        return oid in self.dram or oid in self.ssd
+        if self.dram is not None and oid in self.dram:
+            return True
+        return oid in self.ssd
 
     def __len__(self) -> int:
         """Resident entries summed over tiers (objects in both count twice —
         they genuinely occupy space in each)."""
+        if self.dram is None:
+            return len(self.ssd)
         return len(self.ssd) + len(self.dram)

@@ -29,6 +29,7 @@ from repro.cache.base import AdmissionPolicy, CacheObserver, CachePolicy, CacheS
 from repro.cache.belady import BeladyCache, compute_next_use
 from repro.cache.fifo import FIFOCache
 from repro.cache.gdsf import GDSFCache
+from repro.cache.hierarchy import HierarchicalCache
 from repro.cache.learned import LearnedCache, eviction_metadata
 from repro.cache.lfu import LFUCache
 from repro.cache.lirs import LIRSCache
@@ -36,6 +37,7 @@ from repro.cache.lru import LRUCache
 from repro.cache.segments import SegmentPlan
 from repro.cache.sieve import SieveCache
 from repro.cache.slru import S3LRUCache
+from repro.cache.staging import StagingCache
 from repro.cache.twoq import TwoQCache
 from repro.trace.records import Trace
 
@@ -71,6 +73,11 @@ POLICY_REGISTRY: dict[str, Callable[[int], CachePolicy]] = {
     "gdsf": GDSFCache,
     "sieve": SieveCache,
     "learned": LearnedCache,
+    # Two-level layouts (DRAM front + LRU flash tier): "hierarchy" admits
+    # at miss time, "staging" makes objects earn the flash write via
+    # Flashield-style re-access evidence while staged in DRAM.
+    "hierarchy": HierarchicalCache.for_capacity,
+    "staging": StagingCache.for_capacity,
 }
 
 

@@ -23,6 +23,10 @@ Subcommands
 ``scenario``    deterministic fault-injection replay against the two-tier
                 cluster (node kills/restarts, hot-key floods, rolling
                 deploys) with per-phase stats and an oracle gap
+``staging``     head-to-head admission comparison — no-admission vs the
+                paper's classifier vs the Flashield-style flashiness bar
+                vs their composition — judged at the device (writes, WA,
+                CMT pressure, projected lifetime) per capacity point
 
 All commands accept either ``--trace file.npz`` or generator parameters
 (``--objects``, ``--days``, ``--seed``).  ``serve`` and ``loadgen`` must be
@@ -265,6 +269,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome-trace", default=None,
                    help="record per-phase replay spans and write them as "
                         "Chrome trace-event JSON (loads in Perfetto)")
+
+    p = sub.add_parser(
+        "staging",
+        help="classifier vs flashiness vs composed, judged at the device "
+             "(writes, WA, CMT pressure, lifetime)",
+    )
+    _add_trace_args(p)
+    p.add_argument("--fractions", nargs="+", type=float, default=None,
+                   help="capacity axis as footprint fractions (default: "
+                        "0.02 0.05 0.10)")
+    p.add_argument("--dram-fraction", type=float, default=0.05,
+                   help="staging/DRAM tier as a fraction of SSD capacity")
+    p.add_argument("--flashiness-threshold", type=int, default=1,
+                   help="DRAM re-accesses required before a staged object "
+                        "earns its SSD write")
+    p.add_argument("--redemption-delta", type=int, default=1,
+                   help="extra re-accesses (beyond the bar) that let the "
+                        "composed scheme override a classifier denial")
+    p.add_argument("--learned-flashiness", action="store_true",
+                   help="consult the trained classifier model inside the "
+                        "flashiness bar (LearnedFlashiness) instead of the "
+                        "pure counter")
+    p.add_argument("--cmt-fraction", type=float, default=0.25,
+                   help="cached mapping table size as a fraction of the "
+                        "device's user pages")
+    p.add_argument("--json", default=None,
+                   help="also write the full comparison as JSON to this path")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the composition write-ordering gate (report "
+                        "only)")
 
     p = sub.add_parser(
         "trace-dump",
@@ -670,6 +704,43 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_staging(args) -> int:
+    import json
+
+    from repro.experiments.staging import (
+        DEFAULT_FRACTIONS,
+        check_write_ordering,
+        format_staging_table,
+        run_staging_comparison,
+    )
+
+    trace = _resolve_trace(args)
+    comparison = run_staging_comparison(
+        trace,
+        fractions=tuple(args.fractions) if args.fractions else DEFAULT_FRACTIONS,
+        dram_fraction=args.dram_fraction,
+        flashiness_threshold=args.flashiness_threshold,
+        redemption_delta=args.redemption_delta,
+        use_learned_flashiness=args.learned_flashiness,
+        training_rng=args.seed,
+        cmt_fraction=args.cmt_fraction,
+    )
+    print(format_staging_table(comparison))
+    for warning in comparison.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(comparison.to_dict(), fh, indent=2)
+        print(f"[comparison written to {args.json}]")
+    if not args.no_check:
+        problems = check_write_ordering(comparison)
+        if problems:
+            for problem in problems:
+                print(f"FAILED: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_trace_dump(args) -> int:
     import asyncio
 
@@ -777,6 +848,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "bench-hotpath": _cmd_bench_hotpath,
     "scenario": _cmd_scenario,
+    "staging": _cmd_staging,
     "trace-dump": _cmd_trace_dump,
     "spans-dump": _cmd_spans_dump,
 }

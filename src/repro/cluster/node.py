@@ -120,13 +120,27 @@ class CacheNode:
         stats.requests += 1
         stats.bytes_requested += size
         if oid in self.policy:
-            self.policy.access(oid, size)
+            result = self.policy.access(oid, size)
             stats.hits += 1
             stats.bytes_hit += size
             if self.admission is not None:
                 self.admission.on_hit(index, oid, size)
             if self._m_hits is not None:
                 self._m_hits.inc()
+            if result.inserted:
+                # A staging tier can turn a DRAM hit into the flash write
+                # it deferred at miss time (the object crossed its
+                # flashiness bar).  Router-set causes (flood/rewarm) keep
+                # precedence — they explain why the request came.
+                stats.files_written += 1
+                stats.bytes_written += size
+                if self._m_writes is not None:
+                    self._m_writes.inc()
+                if self.ledger is not None:
+                    cause = self.write_cause
+                    if cause == "admission_accept":
+                        cause = "staging_promote"
+                    self.ledger.record_write(cause, size, model=self.model_label)
             return True
         admit = (
             self.admission.should_admit(index, oid, size)
@@ -174,7 +188,21 @@ class CacheNode:
         """
         stats = self.stats
         if oid in self.policy:
-            self.policy.access(oid, size)
+            result = self.policy.access(oid, size)
+            if result.inserted:
+                # Staging tier: the replica touch pushed a staged object
+                # over its flashiness bar.  The write is still a replica-
+                # driven one, so it stays under ``replica_fill`` (keeps
+                # the phase-level replica_writes reconciliation exact).
+                stats.files_written += 1
+                stats.bytes_written += size
+                if self._m_writes is not None:
+                    self._m_writes.inc()
+                if self.ledger is not None:
+                    self.ledger.record_write(
+                        "replica_fill", size, model=self.model_label
+                    )
+                return True
             return False
         admit = (
             self.admission.should_admit(index, oid, size)

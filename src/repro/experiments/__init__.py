@@ -23,8 +23,26 @@ from repro.experiments.shm import (
     SharedTraceBuffer,
     SharedTraceHandle,
 )
+from repro.experiments.staging import (
+    HIT_RATE_SLACK,
+    SCHEMES,
+    SchemeOutcome,
+    StagingComparison,
+    StagingPoint,
+    check_write_ordering,
+    format_staging_table,
+    run_staging_comparison,
+)
 
 __all__ = [
+    "HIT_RATE_SLACK",
+    "SCHEMES",
+    "SchemeOutcome",
+    "StagingComparison",
+    "StagingPoint",
+    "check_write_ordering",
+    "format_staging_table",
+    "run_staging_comparison",
     "CONFIGS",
     "POLICIES",
     "START_METHOD_ENV",

@@ -1,0 +1,118 @@
+"""Learned flashiness: a trained reuse model as the staging promotion bar.
+
+:class:`~repro.cache.staging.CounterFlashiness` promotes on raw re-access
+counts.  This module supplies the learned variant the ROADMAP item calls
+for: the same per-request feature machinery the paper's admission
+classifier runs on (:class:`repro.core.online.OnlineFeatureTracker`) feeds
+a fitted one-time-vs-reused model through the compiled
+:func:`repro.ml.fastpath.fast_predictor` scalar path, and a staged object
+is promoted only when it has shown at least ``min_dram_hits`` re-accesses
+*and* the model predicts further reuse.
+
+The predicate is built for single-cache ``simulate()`` runs: the staging
+cache's internal request clock is used as the trace index, which is valid
+because the simulator replays the trace from position 0 and routes every
+request through the policy exactly once (``StagingCache.can_batch_hits()``
+is pinned ``False``).  Cluster nodes interleave and re-route requests, so
+they stick with the counter bar.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.staging import FlashinessPredicate
+from repro.ml.fastpath import fast_predictor
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.online import OnlineFeatureTracker
+    from repro.trace.records import Trace
+
+# repro.core is imported lazily below: this module is pulled in by
+# ``repro.ml.__init__`` while ``repro.cache`` may still be mid-import, and
+# ``repro.core.__init__`` re-enters the cache package (pipeline →
+# simulator), which would close an import cycle.
+_SENTINEL = object()
+
+__all__ = ["LearnedFlashiness", "learned_flashiness_for_trace"]
+
+
+class LearnedFlashiness(FlashinessPredicate):
+    """Promote staged objects the model predicts will be re-accessed.
+
+    Parameters
+    ----------
+    model:
+        A fitted classifier over ``tracker.feature_names`` whose positive
+        label marks *one-time* objects (the paper's convention).
+    tracker:
+        The online feature tracker for the trace being replayed; must be
+        exclusive to this predicate (``observe`` is driven from here).
+    min_dram_hits:
+        Evidence floor: a staged object needs at least this many DRAM
+        re-accesses before the model is even consulted.  0 lets the model
+        alone decide at miss time (a pure learned admission bar).
+    pos_label:
+        The model's one-time label; defaults to
+        :data:`repro.core.labeling.ONE_TIME`.
+    """
+
+    def __init__(
+        self,
+        model,
+        tracker: OnlineFeatureTracker,
+        *,
+        min_dram_hits: int = 1,
+        pos_label=_SENTINEL,
+    ):
+        if pos_label is _SENTINEL:
+            from repro.core.labeling import ONE_TIME
+
+            pos_label = ONE_TIME
+        if min_dram_hits < 0:
+            raise ValueError("min_dram_hits must be >= 0")
+        self.model = model
+        self.tracker = tracker
+        self.min_dram_hits = int(min_dram_hits)
+        self.pos_label = pos_label
+        self.decisions = 0
+        self.predicted_reuse = 0
+        self._predict_one = fast_predictor(model).predict_one
+        self._buf = [0.0] * len(tracker.feature_names)
+
+    def should_promote(self, index: int, oid: int, size: int, dram_hits: int) -> bool:
+        if dram_hits < self.min_dram_hits:
+            return False
+        verdict = self._predict_one(self.tracker.features_into(index, self._buf))
+        self.decisions += 1
+        if verdict != self.pos_label:
+            self.predicted_reuse += 1
+            return True
+        return False
+
+    def on_request(self, index: int, oid: int, size: int) -> None:
+        # The tracker must see every request in trace order (recency and
+        # the trailing-minute counter depend on hits too).
+        self.tracker.observe(index)
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self.decisions = 0
+        self.predicted_reuse = 0
+
+
+def learned_flashiness_for_trace(
+    trace: Trace,
+    model,
+    *,
+    min_dram_hits: int = 1,
+    feature_names=None,
+) -> LearnedFlashiness:
+    """Bundle a fresh tracker with ``model`` for one replay of ``trace``."""
+    from repro.core.online import OnlineFeatureTracker
+
+    if feature_names is None:
+        tracker = OnlineFeatureTracker(trace)
+    else:
+        tracker = OnlineFeatureTracker(trace, feature_names=feature_names)
+    return LearnedFlashiness(model, tracker, min_dram_hits=min_dram_hits)

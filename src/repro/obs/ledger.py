@@ -25,6 +25,11 @@ Causes (:data:`CAUSES`):
     evicted (:attr:`repro.cache.learned.LearnedCache.last_insert_was_churn`):
     flash spent paying for an eviction misprediction rather than for new
     bytes.
+``staging_promote``
+    A staged-then-admitted write: the object crossed a Flashield-style
+    flashiness bar while staged in DRAM
+    (:class:`repro.cache.staging.StagingCache`) and earned its flash
+    write on a later hit, not at miss time.
 
 Every write also carries a **model label** — which admission policy or
 classifier version made the call (``v3`` on a live server, the
@@ -52,6 +57,7 @@ CAUSES = (
     "rewarm_after_restart",
     "flood",
     "eviction_churn",
+    "staging_promote",
 )
 
 _UNLABELLED = "none"

@@ -11,6 +11,8 @@ the lifetime claim can be *computed*:
 * :mod:`repro.ssd.ftl` — page-mapped FTL with greedy garbage collection,
   TRIM support, and wear accounting (host vs NAND writes → write
   amplification);
+* :mod:`repro.ssd.cmt` — DFTL-style cached mapping table: translation
+  hit/miss/evict accounting and per-miss latency on top of the FTL;
 * :mod:`repro.ssd.wear` — erase-count statistics and a static
   wear-levelling policy;
 * :mod:`repro.ssd.endurance` — P/E-budget lifetime estimation;
@@ -20,14 +22,18 @@ the lifetime claim can be *computed*:
 
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.ftl import FTLStats, PageMappedFTL
+from repro.ssd.cmt import CMTStats, MappingTableCache
 from repro.ssd.wear import WearStats
 from repro.ssd.endurance import EnduranceModel, LifetimeEstimate
-from repro.ssd.cache_device import CacheSSD, simulate_on_ssd
+from repro.ssd.cache_device import CacheSSD, SSDRunReport, simulate_on_ssd
 
 __all__ = [
     "SSDGeometry",
     "FTLStats",
     "PageMappedFTL",
+    "CMTStats",
+    "MappingTableCache",
+    "SSDRunReport",
     "WearStats",
     "EnduranceModel",
     "LifetimeEstimate",

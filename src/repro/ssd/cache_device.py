@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.cache.base import AdmissionPolicy, CacheObserver, CachePolicy
 from repro.cache.simulator import SimulationResult, simulate
+from repro.ssd.cmt import MappingTableCache
 from repro.ssd.endurance import EnduranceModel, LifetimeEstimate
 from repro.ssd.ftl import PageMappedFTL
 from repro.ssd.geometry import SSDGeometry
@@ -48,6 +49,7 @@ class CacheSSD(CacheObserver):
         n_streams: int = 1,
         temperature=None,
         trim_on_evict: bool = True,
+        cmt: MappingTableCache | None = None,
     ):
         """``temperature(oid, size) -> stream`` routes objects to write
         streams (multi-stream separation); e.g. the admission classifier's
@@ -57,12 +59,16 @@ class CacheSSD(CacheObserver):
         ``trim_on_evict=False`` models cache stacks that do not issue TRIM:
         an evicted object's pages stay valid until their logical pages are
         reallocated — the regime where lifetime-aware placement matters
-        most."""
+        most.
+
+        ``cmt`` attaches a DFTL-style cached mapping table: host-issued
+        translations (writes and TRIMs) are accounted through it, so the
+        report can expose translation-cache pressure per admission scheme."""
         if temperature is not None and n_streams < 2:
             raise ValueError("temperature routing needs n_streams >= 2")
         self.geometry = geometry
         self.ftl = PageMappedFTL(
-            geometry, wear_leveling=wear_leveling, n_streams=n_streams
+            geometry, wear_leveling=wear_leveling, n_streams=n_streams, cmt=cmt
         )
         self.temperature = temperature
         self.trim_on_evict = trim_on_evict
@@ -82,6 +88,8 @@ class CacheSSD(CacheObserver):
         n_streams: int = 1,
         temperature=None,
         trim_on_evict: bool = True,
+        cmt_fraction: float | None = 0.25,
+        cmt_miss_penalty_us: float = 25.0,
         **geometry_kwargs,
     ) -> "CacheSSD":
         """Size a device for a cache of ``cache_bytes``.
@@ -89,6 +97,11 @@ class CacheSSD(CacheObserver):
         Page rounding wastes up to one page per object; with expected
         object count ``cache_bytes / mean_object_bytes``, the logical space
         is padded by that worst case plus ``slack``.
+
+        ``cmt_fraction`` sizes the cached mapping table as a fraction of
+        the device's logical pages (DFTL devices cache a sliver of the
+        full table; 25 % keeps down-scaled experiments meaningfully
+        pressured).  ``None`` disables the CMT model entirely.
         """
         if cache_bytes <= 0 or mean_object_bytes <= 0:
             raise ValueError("cache_bytes and mean_object_bytes must be positive")
@@ -117,13 +130,26 @@ class CacheSSD(CacheObserver):
                 pages_per_block=ppb,
                 **geometry_kwargs,
             )
+        cmt = None
+        if cmt_fraction is not None:
+            if not 0.0 < cmt_fraction <= 1.0:
+                raise ValueError("cmt_fraction must be in (0, 1]")
+            cmt = MappingTableCache(
+                max(1, int(geometry.user_pages * cmt_fraction)),
+                miss_penalty_us=cmt_miss_penalty_us,
+            )
         return cls(
             geometry,
             wear_leveling=wear_leveling,
             n_streams=n_streams,
             temperature=temperature,
             trim_on_evict=trim_on_evict,
+            cmt=cmt,
         )
+
+    @property
+    def cmt(self) -> MappingTableCache | None:
+        return self.ftl.cmt
 
     # ----------------------------------------------------------- observer
 
@@ -183,19 +209,36 @@ class SSDRunReport:
     host_bytes_per_day: float
     lifetime: LifetimeEstimate
 
+    @property
+    def cmt_miss_rate(self) -> float:
+        """Translation-cache miss rate (0.0 when no CMT is attached)."""
+        cmt = self.device.cmt
+        return cmt.stats.miss_rate if cmt is not None else 0.0
+
     def summary(self) -> str:
         s = self.simulation.stats
         f = self.device.ftl.stats
         w = self.device.wear
-        return (
+        lines = [
             f"cache: hit={s.hit_rate:.3f} writes={s.files_written:,} "
-            f"({s.bytes_written / 2**20:.1f} MiB)\n"
+            f"({s.bytes_written / 2**20:.1f} MiB)",
             f"flash: WA={f.write_amplification:.3f} erases={f.erases:,} "
             f"GC relocations={f.gc_pages_relocated:,} "
-            f"wear spread={w.spread} levelling={w.levelling_efficiency:.3f}\n"
+            f"wear spread={w.spread} levelling={w.levelling_efficiency:.3f}",
+        ]
+        cmt = self.device.cmt
+        if cmt is not None:
+            lines.append(
+                f"cmt: miss={cmt.stats.miss_rate:.3f} "
+                f"lookups={cmt.stats.lookups:,} "
+                f"evictions={cmt.stats.evictions:,} "
+                f"added latency={cmt.added_latency_us / 1e3:.1f} ms"
+            )
+        lines.append(
             f"lifetime: {self.lifetime.lifetime_days:,.0f} days at "
             f"{self.host_bytes_per_day / 2**30:.2f} GiB/day host writes"
         )
+        return "\n".join(lines)
 
 
 def simulate_on_ssd(

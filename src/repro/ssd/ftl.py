@@ -50,6 +50,10 @@ class FTLStats:
     erases: int = 0
     trims: int = 0
     gc_runs: int = 0
+    #: Host-issued logical-to-physical translations (writes and TRIMs).
+    #: When a :class:`repro.ssd.cmt.MappingTableCache` is attached, its
+    #: ``hits + misses`` equals this count exactly (conservation suite).
+    translation_lookups: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -72,6 +76,11 @@ class PageMappedFTL:
         erase-count spread exceeds ``static_wl_spread``.
     static_wl_spread:
         Erase-count gap that triggers static wear levelling.
+    cmt:
+        Optional :class:`repro.ssd.cmt.MappingTableCache` — every
+        host-issued translation (write or TRIM) is looked up through it,
+        modelling DFTL's cached mapping table.  GC-internal relocations
+        bypass it (serviced from the victim block's reverse map).
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class PageMappedFTL:
         wear_leveling: str = "dynamic",
         static_wl_spread: int = 64,
         n_streams: int = 1,
+        cmt=None,
     ):
         if wear_leveling not in ("none", "dynamic", "static"):
             raise ValueError(f"unknown wear_leveling: {wear_leveling!r}")
@@ -99,6 +109,7 @@ class PageMappedFTL:
         self.wear_leveling = wear_leveling
         self.static_wl_spread = static_wl_spread
         self.n_streams = n_streams
+        self.cmt = cmt
         g = geometry
 
         self._l2p = np.full(g.user_pages, _UNMAPPED, dtype=np.int64)
@@ -222,6 +233,12 @@ class PageMappedFTL:
         self._free.append(victim)
         return True
 
+    def _translate(self, lpn: int) -> None:
+        """Host-side L2P consultation: counted, routed through the CMT."""
+        self.stats.translation_lookups += 1
+        if self.cmt is not None:
+            self.cmt.lookup(lpn)
+
     # -------------------------------------------------------------- public
 
     def write(self, lpn: int, stream: int = 0) -> None:
@@ -236,6 +253,7 @@ class PageMappedFTL:
             raise ValueError(f"lpn {lpn} out of range")
         if not 0 <= stream < self.n_streams:
             raise ValueError(f"stream {stream} out of range")
+        self._translate(lpn)
         self._invalidate(lpn)
         self.stats.host_pages_written += 1
         if self._ptr[stream] == self.geometry.pages_per_block:
@@ -258,6 +276,9 @@ class PageMappedFTL:
         """Host TRIM: the logical page no longer holds useful data."""
         if not 0 <= lpn < self.geometry.user_pages:
             raise ValueError(f"lpn {lpn} out of range")
+        # The device must consult the mapping to learn whether the page is
+        # live, so even a no-op TRIM is one translation.
+        self._translate(lpn)
         if self._l2p[lpn] != _UNMAPPED:
             self._invalidate(lpn)
             self.stats.trims += 1

@@ -69,8 +69,13 @@ class TestBasicSemantics:
     def test_with_lru_dram_helper(self):
         c = HierarchicalCache.with_lru_dram(LRUCache(10_000), dram_fraction=0.1)
         assert c.dram.capacity == 1000
+        # 0.0 is the zero-size-DRAM degenerate form, not an error.
+        bare = HierarchicalCache.with_lru_dram(LRUCache(100), dram_fraction=0.0)
+        assert bare.dram is None
         with pytest.raises(ValueError):
-            HierarchicalCache.with_lru_dram(LRUCache(100), dram_fraction=0.0)
+            HierarchicalCache.with_lru_dram(LRUCache(100), dram_fraction=1.0)
+        with pytest.raises(ValueError):
+            HierarchicalCache.with_lru_dram(LRUCache(100), dram_fraction=-0.1)
 
     def test_contains_spans_tiers(self):
         c = make(dram_cap=250)

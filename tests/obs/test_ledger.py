@@ -21,6 +21,7 @@ class TestRecording:
             "rewarm_after_restart": 0,
             "flood": 0,
             "eviction_churn": 0,
+            "staging_promote": 0,
         }
         assert led.writes_by_model() == {"v1": 4, "v2": 1}
 
@@ -46,7 +47,7 @@ class TestRecording:
         # Report byte-identity depends on this exact order.
         assert CAUSES == (
             "admission_accept", "replica_fill", "rewarm_after_restart",
-            "flood", "eviction_churn",
+            "flood", "eviction_churn", "staging_promote",
         )
         assert list(WriteLedger().writes_by_cause()) == list(CAUSES)
 
@@ -80,6 +81,7 @@ class TestSnapshotAndDelta:
             "rewarm_after_restart": 2,
             "flood": 0,
             "eviction_churn": 0,
+            "staging_promote": 0,
         }
         assert d["avoided_writes"] == 3
         assert d["avoided_bytes"] == 6

@@ -286,6 +286,100 @@ class TestCompareEvictionReports:
         assert "**FAILED**" in text
 
 
+def staging_report(points, *, quick=True, violations=()):
+    """Minimal staging report: ``points`` maps
+    ``fraction -> {scheme: (hit_rate, ssd_writes)}``."""
+    return {
+        "kind": "staging",
+        "quick": quick,
+        "violations": list(violations),
+        "points": [
+            {
+                "fraction": frac,
+                "schemes": {
+                    name: {
+                        "hit_rate": hit,
+                        "ssd_writes": writes,
+                        "write_amplification": 1.2,
+                    }
+                    for name, (hit, writes) in schemes.items()
+                },
+            }
+            for frac, schemes in points.items()
+        ],
+    }
+
+
+class TestCompareStagingReports:
+    def test_hit_rate_drop_beyond_threshold_and_slack_fails(self):
+        base = staging_report({0.02: {"flashiness": (0.30, 450)}})
+        cur = staging_report({0.02: {"flashiness": (0.20, 450)}})
+        result = bench_trend.compare_staging_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == ["frac=0.02:flashiness:hit_rate"]
+
+    def test_hit_slack_absorbs_low_rate_wiggles(self):
+        """At near-zero hit rates the 20%-relative band is microscopic;
+        the absolute slack keeps 0.05 → 0.04 from tripping the gate."""
+        base = staging_report({0.02: {"composed": (0.05, 400)}})
+        cur = staging_report({0.02: {"composed": (0.04, 400)}})
+        result = bench_trend.compare_staging_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == []
+
+    def test_write_growth_beyond_ceiling_fails(self):
+        base = staging_report({0.02: {"composed": (0.33, 400)}})
+        cur = staging_report({0.02: {"composed": (0.33, 500)}})  # > 400*1.2+16
+        result = bench_trend.compare_staging_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == ["frac=0.02:composed:writes"]
+
+    def test_write_slack_absorbs_small_absolute_growth(self):
+        base = staging_report({0.02: {"composed": (0.33, 10)}})
+        cur = staging_report({0.02: {"composed": (0.33, 25)}})  # <= 10*1.2+16
+        result = bench_trend.compare_staging_reports(base, cur, threshold=0.20)
+        assert result["regressions"] == []
+
+    def test_improvement_never_fails(self):
+        base = staging_report({0.02: {"flashiness": (0.30, 500)}})
+        cur = staging_report({0.02: {"flashiness": (0.40, 300)}})
+        result = bench_trend.compare_staging_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["rows"][0]["regressed"] is False
+
+    def test_disjoint_points_and_schemes_listed_not_failed(self):
+        base = staging_report(
+            {0.02: {"composed": (0.3, 400), "old": (0.1, 9_000)}, 0.05: {"composed": (0.4, 300)}}
+        )
+        cur = staging_report(
+            {0.02: {"composed": (0.3, 400), "new": (0.0, 9_999)}, 0.10: {"composed": (0.5, 200)}}
+        )
+        result = bench_trend.compare_staging_reports(base, cur)
+        assert result["regressions"] == []
+        assert result["added"] == [0.10]
+        assert result["removed"] == [0.05]
+        assert [(r["fraction"], r["scheme"]) for r in result["rows"]] == [
+            (0.02, "composed")
+        ]
+
+    def test_markdown_flags_regression_and_violations(self):
+        base = staging_report({0.02: {"flashiness": (0.30, 450)}})
+        cur = staging_report(
+            {0.02: {"flashiness": (0.10, 450)}},
+            violations=["frac=0.02: composed wrote more than flashiness"],
+        )
+        text = bench_trend.format_staging_markdown(
+            bench_trend.compare_staging_reports(base, cur)
+        )
+        assert "Staging admission trend" in text
+        assert "REGRESSION" in text and "**FAILED**" in text
+        assert "composition-" in text  # violations note
+
+    def test_markdown_clean_run_says_so(self):
+        rep = staging_report({0.02: {"composed": (0.33, 400)}})
+        text = bench_trend.format_staging_markdown(
+            bench_trend.compare_staging_reports(rep, rep)
+        )
+        assert "No scheme's hit rate or write count regressed" in text
+
+
 class TestMain:
     def _write(self, tmp_path, name, rep):
         p = tmp_path / name
@@ -393,6 +487,27 @@ class TestMain:
         )
         assert bench_trend.main(["--baseline", base, "--current", clean]) == 0
         assert bench_trend.main(["--baseline", base, "--current", worse]) == 1
+
+    def test_staging_kind_dispatch(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        base = self._write(
+            tmp_path, "base.json",
+            staging_report({0.02: {"composed": (0.33, 400)}}),
+        )
+        clean = self._write(
+            tmp_path, "clean.json",
+            staging_report({0.02: {"composed": (0.33, 410)}}),
+        )
+        worse = self._write(
+            tmp_path, "worse.json",
+            staging_report({0.02: {"composed": (0.10, 400)}}),
+        )
+        hotpath = self._write(tmp_path, "hot.json", report(a=100.0))
+        assert bench_trend.main(["--baseline", base, "--current", clean]) == 0
+        assert bench_trend.main(["--baseline", base, "--current", worse]) == 1
+        # Kind mismatch is a pipeline change, not a regression.
+        assert bench_trend.main(["--baseline", hotpath, "--current", base]) == 0
+        assert bench_trend.main(["--baseline", base, "--current", hotpath]) == 0
 
     def test_server_kind_dispatch(self, tmp_path, monkeypatch):
         monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)

@@ -88,10 +88,11 @@ class TestCauseAttribution:
         by_cause = reference_report.ledger["writes_by_cause"]
         # Flood + restart + replication 2 are all in the reference
         # timeline, so every cause must attribute at least one write —
-        # except eviction_churn, which needs a learned eviction policy
-        # (the reference runs LRU, so it must stay exactly zero).
+        # except eviction_churn (needs a learned eviction policy) and
+        # staging_promote (needs a staging tier); the reference runs LRU,
+        # so both must stay exactly zero.
         for cause in CAUSES:
-            if cause == "eviction_churn":
+            if cause in ("eviction_churn", "staging_promote"):
                 assert by_cause[cause] == 0
             else:
                 assert by_cause[cause] > 0, cause

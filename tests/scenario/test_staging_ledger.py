@@ -1,0 +1,101 @@
+"""Ledger reconciliation with the staging tier in the cluster.
+
+With ``policy="staging"`` the cluster nodes take their SSD writes on the
+*hit* path (a staged object crossing the flashiness bar), attributed as
+``staging_promote`` in the :class:`~repro.obs.ledger.WriteLedger`.  The
+load-bearing property is unchanged from the provenance suite: per-cause
+totals must sum — integer equality, no sampling — to every SSD write the
+cluster counted.
+"""
+
+import pytest
+
+from repro.scenario import EventSpec, ScenarioSpec, run_scenario
+from repro.trace import WorkloadConfig, generate_trace
+
+REQUESTS = 8_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadConfig(n_objects=3000, days=2.0, seed=9))
+
+
+class TestStagingPromoteAttribution:
+    def test_quiet_staging_scenario_reconciles_exactly(self, trace):
+        report = run_scenario(
+            ScenarioSpec(nodes=1, requests=REQUESTS, policy="staging"),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"] is True
+        by_cause = led["writes_by_cause"]
+        assert by_cause["staging_promote"] > 0
+        assert sum(by_cause.values()) == led["cluster_ssd_writes"]
+        assert led["total_writes"] == led["cluster_ssd_writes"]
+
+    def test_promotes_split_out_of_admission_accept(self, trace):
+        """Hit-path promotions carry their own cause.  Every node in the
+        cluster (OC and DC alike) runs the staging policy, and the
+        default bar stages everything — so every SSD write crossed the
+        bar and admission_accept stays exactly zero."""
+        report = run_scenario(
+            ScenarioSpec(nodes=2, requests=REQUESTS, policy="staging"),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        by_cause = report.ledger["writes_by_cause"]
+        assert report.ledger["exact"]
+        assert by_cause["admission_accept"] == 0
+        dc_writes = sum(p.dc_writes for p in report.phases)
+        oc_writes = sum(
+            p.primary_writes + p.replica_writes for p in report.phases
+        )
+        assert by_cause["staging_promote"] == oc_writes + dc_writes
+
+    def test_replication_keeps_replica_fill_reconciled(self, trace):
+        """Replica fills on staging nodes stay under replica_fill, and
+        the phase replica_writes counters still partition exactly."""
+        report = run_scenario(
+            ScenarioSpec(
+                nodes=3, requests=REQUESTS, replication=2, policy="staging"
+            ),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        assert led["writes_by_cause"]["replica_fill"] == sum(
+            p.replica_writes for p in report.phases
+        )
+        assert led["writes_by_cause"]["staging_promote"] > 0
+
+    def test_faulted_staging_timeline_stays_exact(self, trace):
+        """Kill/restart + flood against staging nodes: rewarm and flood
+        causes keep precedence over staging_promote, totals stay exact."""
+        n = REQUESTS
+        events = (
+            EventSpec(kind="node_kill", at=n // 4, node="oc1"),
+            EventSpec(kind="node_restart", at=n // 2, node="oc1"),
+            EventSpec(kind="hot_key_flood", at=5 * n // 8, length=n // 8),
+        )
+        report = run_scenario(
+            ScenarioSpec(nodes=3, requests=n, policy="staging", events=events),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        by_cause = led["writes_by_cause"]
+        assert by_cause["staging_promote"] > 0
+        assert by_cause["flood"] > 0
+        assert sum(by_cause.values()) == led["cluster_ssd_writes"]
+
+    def test_hierarchy_policy_has_no_staging_promotes(self, trace):
+        """The plain hierarchy admits at miss time: no hit-path inserts,
+        so staging_promote must stay exactly zero."""
+        report = run_scenario(
+            ScenarioSpec(nodes=1, requests=REQUESTS, policy="hierarchy"),
+            trace, with_baseline=False, with_oracle=False,
+        )
+        led = report.ledger
+        assert led["exact"]
+        assert led["writes_by_cause"]["staging_promote"] == 0
+        assert led["writes_by_cause"]["admission_accept"] > 0

@@ -249,6 +249,77 @@ class TestMultiStream:
         ftl.check_invariants()
 
 
+class TestConservationProperties:
+    """Flash conservation laws over random host op streams."""
+
+    op_streams = st.lists(
+        st.tuples(st.booleans(), st.integers(0, 31)),
+        min_size=1,
+        max_size=400,
+    )
+
+    @staticmethod
+    def _replay(ops, cmt_capacity=None):
+        from repro.ssd import MappingTableCache
+
+        g = SSDGeometry(
+            user_bytes=32 * 1024,
+            page_bytes=1024,
+            pages_per_block=8,
+            overprovision=0.3,
+        )
+        cmt = (
+            MappingTableCache(cmt_capacity)
+            if cmt_capacity is not None
+            else None
+        )
+        ftl = PageMappedFTL(g, cmt=cmt)
+        for is_write, lpn in ops:
+            if is_write:
+                ftl.write(lpn)
+            else:
+                ftl.trim(lpn)
+        return ftl
+
+    @given(ops=op_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_nand_programs_conserved(self, ops):
+        """Host pages + GC relocations == NAND page programs, always."""
+        ftl = self._replay(ops)
+        s = ftl.stats
+        assert (
+            s.nand_pages_written == s.host_pages_written + s.gc_pages_relocated
+        )
+
+    @given(ops=op_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_write_amplification_at_least_one(self, ops):
+        ftl = self._replay(ops)
+        if ftl.stats.host_pages_written:
+            assert ftl.stats.write_amplification >= 1.0
+
+    @given(ops=op_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_trim_never_resurrects_a_mapping(self, ops):
+        """After a trim, the lpn stays unmapped until the next write."""
+        ftl = self._replay(ops)
+        last_op: dict[int, bool] = {}
+        for is_write, lpn in ops:
+            last_op[lpn] = is_write
+        for lpn, was_write in last_op.items():
+            assert ftl.is_mapped(lpn) == was_write
+        ftl.check_invariants()
+
+    @given(ops=op_streams, cmt_capacity=st.integers(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_cmt_accounts_every_translation(self, ops, cmt_capacity):
+        """CMT hits + misses == translation lookups == host ops."""
+        ftl = self._replay(ops, cmt_capacity=cmt_capacity)
+        s = ftl.cmt.stats
+        assert s.hits + s.misses == s.lookups
+        assert s.lookups == ftl.stats.translation_lookups == len(ops)
+
+
 class TestPropertyBased:
     @given(
         ops=st.lists(

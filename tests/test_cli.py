@@ -38,6 +38,9 @@ class TestParser:
             ["bench-hotpath", "--quick"],
             ["bench-hotpath", "--components", "spans"],
             ["scenario", "--requests", "500", "--no-oracle"],
+            ["staging", "--fractions", "0.02", "0.05", "--redemption-delta",
+             "2", "--no-check"],
+            ["staging", "--learned-flashiness", "--cmt-fraction", "0.5"],
             ["serve", "--port", "0", "--spans", "--spans-capacity", "4096"],
             ["loadgen", "--chrome-trace", "lg.json"],
             ["scenario", "--requests", "500", "--chrome-trace", "sc.json"],
@@ -202,6 +205,29 @@ class TestCommands:
         n_spans = validate_chrome_trace(doc)
         # One span per phase plus the replay root.
         assert n_spans == len(report["phases"]) + 1
+
+    def test_staging_comparison(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "staging.json"
+        argv = ["staging", "--fractions", "0.05", "--json", str(output),
+                *BASE]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out and "composed" in out and "life(d)" in out
+        report = json.loads(output.read_text())
+        assert report["flashiness_threshold"] == 1
+        assert report["n_requests"] > 0
+        (point,) = report["points"]
+        assert point["fraction"] == pytest.approx(0.05)
+        schemes = point["schemes"]
+        assert set(schemes) == {
+            "no-admission", "classifier", "flashiness", "composed"
+        }
+        assert (
+            schemes["composed"]["ssd_writes"]
+            <= schemes["no-admission"]["ssd_writes"]
+        )
 
     def test_scenario_from_spec_file(self, tmp_path, capsys):
         import json
